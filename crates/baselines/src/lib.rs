@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! Baseline accelerator models: Eyeriss and ZeNA (§IV).
+//!
+//! * [`eyeriss`] — the row-stationary dense accelerator of Chen et al.
+//!   Zero inputs do **not** shorten execution; they clock-gate the MAC,
+//!   saving energy only. 165 PEs at either 16 or 8 bits.
+//! * [`zena`] — the zero-aware accelerator of Kim et al., which skips
+//!   computations whose weight *or* activation is zero. 168 PEs; the same
+//!   cycle count at 16 and 8 bits (footnote 5 of the paper), since only
+//!   the datapath width changes.
+//!
+//! Both share the Table I memory configuration with OLAccel and price
+//! their (dense, full-precision) tensor traffic with the same SRAM/DRAM
+//! models, which is what isolates the paper's claimed benefit — reduced
+//! precision with outlier handling — in the comparisons.
+
+pub mod eyeriss;
+pub mod zena;
+
+pub use eyeriss::EyerissSim;
+pub use zena::ZenaSim;

@@ -1,0 +1,43 @@
+//! Fig 1: weight-distribution histograms under the three quantization
+//! schemes. The timed body is quantizing the conv2 weight population both
+//! ways.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ola_bench::bench_prep;
+use ola_nn::synth::weight_values;
+use ola_quant::linear::LinearQuantizer;
+use ola_quant::outlier::OutlierQuantizer;
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let prep = bench_prep("alexnet");
+    let conv2 = prep
+        .net
+        .nodes()
+        .iter()
+        .position(|n| n.name == "conv2")
+        .unwrap();
+    let weights: Vec<f32> = weight_values(&prep.params, conv2)
+        .into_iter()
+        .filter(|&v| v != 0.0)
+        .collect();
+
+    c.bench_function("fig01_linear_quantize", |b| {
+        let q = LinearQuantizer::fit_symmetric(4, &weights).unwrap();
+        b.iter(|| black_box(q.fake_quantize(black_box(&weights))))
+    });
+    c.bench_function("fig01_outlier_fit_and_quantize", |b| {
+        b.iter(|| {
+            let q = OutlierQuantizer::fit(black_box(&weights), 0.035, 4, 8);
+            black_box(q.fake_quantize(&weights))
+        })
+    });
+    println!("{}", ola_harness::fig01::run(true));
+}
+
+criterion_group! {
+    name = figs;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(figs);

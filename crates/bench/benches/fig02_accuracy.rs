@@ -1,0 +1,37 @@
+//! Fig 2/3: quantized accuracy vs outlier ratio. Training happens once
+//! outside the timed body; the benchmark measures the quantize+evaluate
+//! sweep point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ola_harness::fig02::TrainedSynthNet;
+use ola_quant::accuracy::{evaluate_synthnet, QuantSpec};
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let t = TrainedSynthNet::train(true);
+    for ratio in [0.0, 0.03] {
+        c.bench_function(
+            &format!("fig02_evaluate_ratio_{:.0}pct", ratio * 100.0),
+            |b| {
+                b.iter(|| {
+                    black_box(evaluate_synthnet(
+                        black_box(&t.net),
+                        &t.test,
+                        &t.train,
+                        &QuantSpec::paper_4bit(ratio),
+                        5,
+                    ))
+                })
+            },
+        );
+    }
+    println!("{}", ola_harness::fig02::run(true));
+    println!("{}", ola_harness::fig03::run(true));
+}
+
+criterion_group! {
+    name = figs;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(figs);

@@ -1,0 +1,37 @@
+//! Fig 15: multi-NPU/batch scalability sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ola_bench::bench_prep;
+use ola_core::scale::{speedup, ScaleParams};
+use ola_core::OlAccelSim;
+use ola_energy::{ComparisonMode, TechParams};
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let prep = bench_prep("alexnet");
+    let (ws16, _) = prep.paper_workloads();
+    let sim = OlAccelSim::new(TechParams::default(), ComparisonMode::Bits16);
+    let cycles = sim.simulate(&ws16).total_cycles();
+    let dram = sim.dram_bits(&ws16);
+    let p = ScaleParams::default();
+
+    c.bench_function("fig15_full_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for npus in [1usize, 2, 4, 8, 16] {
+                for batch in [1usize, 4, 16] {
+                    acc += speedup(black_box(cycles), black_box(dram), npus, batch, cycles, &p);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    println!("{}", ola_harness::fig15::run(true));
+}
+
+criterion_group! {
+    name = figs;
+    config = Criterion::default().sample_size(20);
+    targets = benches
+}
+criterion_main!(figs);

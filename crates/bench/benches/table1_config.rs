@@ -1,0 +1,23 @@
+//! Table I: the ISO-area configuration solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ola_energy::config::AcceleratorConfig;
+use ola_energy::{ComparisonMode, TechParams};
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let tech = TechParams::default();
+    c.bench_function("table1_solve_all_configs", |b| {
+        b.iter(|| {
+            for mode in [ComparisonMode::Bits16, ComparisonMode::Bits8] {
+                black_box(AcceleratorConfig::eyeriss(&tech, mode));
+                black_box(AcceleratorConfig::zena(&tech, mode));
+                black_box(AcceleratorConfig::olaccel(&tech, mode));
+            }
+        })
+    });
+    println!("{}", ola_harness::table1::run());
+}
+
+criterion_group!(figs, benches);
+criterion_main!(figs);

@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+
+//! Criterion benchmark harness for the OLAccel reproduction.
+//!
+//! One bench target per paper table/figure (`fig*`/`table1`), micro
+//! benchmarks of the hot kernels (`kernels`), and the design-choice
+//! ablations called out in DESIGN.md §8 (`ablations`). Benchmarks run the
+//! fast-mode experiment paths: workload preparation happens once outside
+//! the timed section; the timed body is the simulation/evaluation step the
+//! figure actually measures.
+
+use ola_harness::prep::Prepared;
+
+/// Prepares a fast-mode workload once for benching.
+pub fn bench_prep(network: &str) -> Prepared {
+    Prepared::new(network, ola_harness::prep::default_scale(network, true))
+}

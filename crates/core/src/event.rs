@@ -1,0 +1,304 @@
+//! Detailed event-driven PE-cluster simulation.
+//!
+//! Where [`crate::model`] computes a layer's cycles in closed form from
+//! measured chunk statistics, this module *plays out* the schedule of
+//! §III-C at unit granularity: every activation-chunk unit is dispatched to
+//! the first PE group that frees up (Fig 6), the outlier PE group drains
+//! its broadcast FIFO in parallel (Fig 9), and the tri-buffered
+//! normal/outlier accumulation pipeline (Fig 10) adds its drain at the end.
+//!
+//! The closed form is validated against this simulation by unit and
+//! property tests (`dispatch` agreement) — the detailed path is exact for
+//! the modeled microarchitecture, and fast enough for small layers and
+//! ablation studies.
+
+use crate::cost::GroupTuning;
+use ola_sim::{LayerWorkload, Utilization};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One dispatchable unit of work: an activation chunk processed against one
+/// 16-output-channel weight column at one kernel offset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnitJob {
+    /// Non-zero activations to broadcast.
+    pub nnz: u32,
+    /// All-zero quads the skip scanner pays for.
+    pub zero_quads: u32,
+    /// Precision passes (first-layer multi-pass handling).
+    pub passes: u32,
+    /// How many of the broadcasts hit a multi-outlier weight chunk and pay
+    /// the second cycle.
+    pub multi_outlier_broadcasts: u32,
+}
+
+impl UnitJob {
+    /// Cycles this unit occupies a PE group.
+    pub fn cycles(&self) -> u64 {
+        (self.nnz * self.passes + self.multi_outlier_broadcasts + self.zero_quads) as u64
+    }
+}
+
+/// Event-simulation configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EventConfig {
+    /// PE groups in the cluster (6 in the paper).
+    pub groups: usize,
+    /// Accumulation pipeline depth: cycles between a group finishing and
+    /// its partial sums being committed through the tri-buffer by both
+    /// accumulation units.
+    pub accum_pipeline_depth: u64,
+}
+
+impl Default for EventConfig {
+    fn default() -> Self {
+        EventConfig {
+            groups: 6,
+            accum_pipeline_depth: 4,
+        }
+    }
+}
+
+/// Result of an event-driven cluster run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EventResult {
+    /// Total cycles until the last partial sum is committed.
+    pub cycles: u64,
+    /// Aggregate cycle decomposition across the dense PE groups.
+    pub utilization: Utilization,
+    /// Cycles the outlier PE group was busy.
+    pub outlier_busy: u64,
+}
+
+/// Plays out the cluster schedule: units dispatch in order to the
+/// earliest-free group; the outlier group consumes `outlier_broadcasts`
+/// cycles of work in parallel; the accumulation pipeline adds its drain.
+pub fn simulate_cluster(
+    jobs: &[UnitJob],
+    outlier_broadcasts: u64,
+    cfg: &EventConfig,
+) -> EventResult {
+    assert!(cfg.groups > 0, "need at least one group");
+    let mut heap: BinaryHeap<Reverse<u64>> = (0..cfg.groups).map(|_| Reverse(0)).collect();
+    let mut run = 0u64;
+    let mut skip = 0u64;
+    for job in jobs {
+        let Reverse(t) = heap.pop().expect("heap never empty");
+        heap.push(Reverse(t + job.cycles()));
+        run += (job.nnz * job.passes + job.multi_outlier_broadcasts) as u64;
+        skip += job.zero_quads as u64;
+    }
+    let dense_finish = heap.into_iter().map(|Reverse(t)| t).max().unwrap_or(0);
+
+    // The outlier PE group starts immediately and processes one broadcast
+    // per cycle; the tri-buffer lets its accumulation trail the normal
+    // unit's by one pipeline slot, so the layer ends when the slower
+    // datapath has drained.
+    let outlier_finish = outlier_broadcasts;
+    let finish = dense_finish.max(outlier_finish) + cfg.accum_pipeline_depth;
+
+    let group_cycle_budget = finish * cfg.groups as u64;
+    let run_per_group = run / cfg.groups as u64;
+    let skip_per_group = skip / cfg.groups as u64;
+    EventResult {
+        cycles: finish,
+        utilization: Utilization {
+            run_cycles: run_per_group,
+            skip_cycles: skip_per_group,
+            idle_cycles: (group_cycle_budget / cfg.groups as u64)
+                .saturating_sub(run_per_group + skip_per_group),
+        },
+        outlier_busy: outlier_broadcasts,
+    }
+}
+
+/// Builds the unit-job stream of a layer from its measured chunk data, with
+/// multi-outlier hits drawn per broadcast from the measured weight-chunk
+/// multiplicity (deterministic seed).
+pub fn jobs_from_workload(l: &LayerWorkload, tuning: &GroupTuning, seed: u64) -> Vec<UnitJob> {
+    let passes = crate::cost::precision_passes(l.act_bits, l.weight_bits);
+    let multi_p = crate::cost::outlier_extra_frac(l, tuning);
+    let chunks = l.chunk_nnz.len().max(1);
+    let uses = (l.group_units() as usize).div_ceil(chunks).max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut jobs = Vec::with_capacity(chunks * uses);
+    for _ in 0..uses {
+        for (&nnz, &zq) in l.chunk_nnz.iter().zip(&l.chunk_zero_quads) {
+            let mut multi = 0u32;
+            if multi_p > 0.0 {
+                for _ in 0..nnz {
+                    if rng.gen_bool(multi_p.min(1.0)) {
+                        multi += 1;
+                    }
+                }
+            }
+            jobs.push(UnitJob {
+                nnz: nnz as u32,
+                zero_quads: zq as u32,
+                passes,
+                multi_outlier_broadcasts: multi,
+            });
+        }
+    }
+    jobs
+}
+
+/// Convenience: event-simulate a whole layer on a cluster and compare with
+/// the closed-form layer cost. Returns `(event_cycles, analytic_cycles)`.
+pub fn validate_layer(l: &LayerWorkload, tuning: &GroupTuning, cfg: &EventConfig) -> (u64, u64) {
+    let jobs = jobs_from_workload(l, tuning, 0xE7E27);
+    let result = simulate_cluster(&jobs, 0, cfg);
+
+    let lc = crate::cost::layer_cost(l, tuning);
+    let passes = crate::cost::precision_passes(l.act_bits, l.weight_bits) as f64;
+    let analytic = crate::dispatch::makespan_analytic(lc.total(), 16.0 * passes + 4.0, cfg.groups)
+        + cfg.accum_pipeline_depth as f64;
+    (result.cycles, analytic.round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ola_sim::workload::{LayerKind, Shape4Ser};
+
+    fn job(nnz: u32, zq: u32) -> UnitJob {
+        UnitJob {
+            nnz,
+            zero_quads: zq,
+            passes: 1,
+            multi_outlier_broadcasts: 0,
+        }
+    }
+
+    #[test]
+    fn unit_job_cycles() {
+        assert_eq!(job(10, 1).cycles(), 11);
+        assert_eq!(
+            UnitJob {
+                nnz: 8,
+                zero_quads: 2,
+                passes: 4,
+                multi_outlier_broadcasts: 3
+            }
+            .cycles(),
+            8 * 4 + 3 + 2
+        );
+    }
+
+    #[test]
+    fn single_group_serializes() {
+        let jobs = vec![job(16, 0); 10];
+        let cfg = EventConfig {
+            groups: 1,
+            accum_pipeline_depth: 0,
+        };
+        let r = simulate_cluster(&jobs, 0, &cfg);
+        assert_eq!(r.cycles, 160);
+        assert_eq!(r.utilization.run_cycles, 160);
+        assert_eq!(r.utilization.idle_cycles, 0);
+    }
+
+    #[test]
+    fn groups_divide_work() {
+        let jobs = vec![job(8, 0); 60];
+        let cfg = EventConfig {
+            groups: 6,
+            accum_pipeline_depth: 0,
+        };
+        let r = simulate_cluster(&jobs, 0, &cfg);
+        assert_eq!(r.cycles, 80, "60 x 8 cycles over 6 groups");
+    }
+
+    #[test]
+    fn outlier_path_can_dominate() {
+        let jobs = vec![job(4, 0); 6];
+        let cfg = EventConfig {
+            groups: 6,
+            accum_pipeline_depth: 2,
+        };
+        let r = simulate_cluster(&jobs, 100, &cfg);
+        assert_eq!(r.cycles, 102, "outlier FIFO drain dominates");
+        assert_eq!(r.outlier_busy, 100);
+    }
+
+    #[test]
+    fn accum_drain_added() {
+        let jobs = vec![job(10, 0)];
+        let cfg = EventConfig {
+            groups: 6,
+            accum_pipeline_depth: 7,
+        };
+        let r = simulate_cluster(&jobs, 0, &cfg);
+        assert_eq!(r.cycles, 17);
+    }
+
+    fn synthetic_layer(chunks: usize, nnz: u8, multi: f64) -> LayerWorkload {
+        LayerWorkload {
+            name: "t".into(),
+            index: 1,
+            kind: LayerKind::Conv,
+            in_shape: Shape4Ser {
+                n: 1,
+                c: 16,
+                h: 1,
+                w: chunks,
+            },
+            out_shape: Shape4Ser {
+                n: 1,
+                c: 16,
+                h: 1,
+                w: chunks,
+            },
+            kernel: 1,
+            macs: (chunks * 256) as u64,
+            weight_count: 256,
+            weight_bits: 4,
+            act_bits: 4,
+            weight_zero_fraction: 0.0,
+            act_zero_fraction: 1.0 - nnz as f64 / 16.0,
+            weight_outlier_ratio: 0.03,
+            act_outlier_nonzero_ratio: 0.03,
+            act_effective_outlier_ratio: 0.02,
+            chunk_nnz: vec![nnz; chunks],
+            chunk_zero_quads: vec![0; chunks],
+            wchunk_single_fraction: 0.2,
+            wchunk_multi_fraction: multi,
+            out_zero_fraction: 0.4,
+        }
+    }
+
+    #[test]
+    fn event_and_analytic_agree_without_outliers() {
+        let l = synthetic_layer(600, 12, 0.0);
+        let (event, analytic) =
+            validate_layer(&l, &GroupTuning::default(), &EventConfig::default());
+        let rel = (event as f64 - analytic as f64).abs() / analytic as f64;
+        assert!(
+            rel < 0.03,
+            "event {event} vs analytic {analytic} ({rel:.3})"
+        );
+    }
+
+    #[test]
+    fn event_and_analytic_agree_with_outliers() {
+        let l = synthetic_layer(600, 12, 0.1);
+        let (event, analytic) =
+            validate_layer(&l, &GroupTuning::default(), &EventConfig::default());
+        let rel = (event as f64 - analytic as f64).abs() / analytic as f64;
+        // Sampling of multi-outlier hits adds a little variance.
+        assert!(
+            rel < 0.05,
+            "event {event} vs analytic {analytic} ({rel:.3})"
+        );
+    }
+
+    #[test]
+    fn jobs_cover_all_units() {
+        let l = synthetic_layer(100, 9, 0.0);
+        let jobs = jobs_from_workload(&l, &GroupTuning::default(), 1);
+        assert_eq!(jobs.len() as u64, l.group_units());
+        assert!(jobs.iter().all(|j| j.nnz == 9 && j.passes == 1));
+    }
+}

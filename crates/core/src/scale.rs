@@ -1,0 +1,140 @@
+//! Multi-NPU / batch scalability model (Fig 15).
+//!
+//! One NPU is a full accelerator instance (768 4-bit MACs for OLAccel16,
+//! 168 PEs for ZeNA16). Work scales across NPUs two ways: images of a batch
+//! go to different NPUs, and a single image's layers split across NPUs with
+//! diminishing utilization (partition/serialization overhead). All NPUs
+//! share one off-chip memory channel pool, which is what bends the batch-16
+//! curve below batch-4 for OLAccel in the paper.
+
+/// Scalability model parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScaleParams {
+    /// Fractional serialization overhead when one image splits across NPUs
+    /// (layer-boundary sync, halo exchange).
+    pub split_overhead: f64,
+    /// Aggregate off-chip bandwidth in bits per accelerator cycle, shared by
+    /// all NPUs.
+    pub shared_dram_bits_per_cycle: f64,
+}
+
+impl Default for ScaleParams {
+    fn default() -> Self {
+        ScaleParams {
+            split_overhead: 0.045,
+            shared_dram_bits_per_cycle: 6000.0,
+        }
+    }
+}
+
+/// Cycles to process `batch` images on `npus` NPUs, given one image's
+/// compute cycles and DRAM traffic on a single NPU.
+///
+/// # Panics
+///
+/// Panics if `npus` or `batch` is zero.
+pub fn batch_cycles(
+    cycles_per_image: u64,
+    dram_bits_per_image: u64,
+    npus: usize,
+    batch: usize,
+    p: &ScaleParams,
+) -> f64 {
+    assert!(npus > 0 && batch > 0, "npus and batch must be positive");
+    // Whole images distribute first; leftover parallelism splits images.
+    let split_ways = (npus as f64 / batch as f64).max(1.0);
+    let util = 1.0 / (1.0 + p.split_overhead * (split_ways - 1.0));
+    let compute = batch as f64 * cycles_per_image as f64 / (npus as f64 * util).min(npus as f64);
+    let bandwidth = batch as f64 * dram_bits_per_image as f64 / p.shared_dram_bits_per_cycle;
+    compute.max(bandwidth)
+}
+
+/// Speedup of `(npus, batch)` relative to a reference single-NPU, batch-1
+/// run of `ref_cycles_per_image` (per image).
+pub fn speedup(
+    cycles_per_image: u64,
+    dram_bits_per_image: u64,
+    npus: usize,
+    batch: usize,
+    ref_cycles_per_image: u64,
+    p: &ScaleParams,
+) -> f64 {
+    let t = batch_cycles(cycles_per_image, dram_bits_per_image, npus, batch, p) / batch as f64;
+    ref_cycles_per_image as f64 / t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: u64 = 1_000_000;
+    const D: u64 = 100_000_000; // 100 Mbit / image
+
+    #[test]
+    fn single_npu_batch1_is_baseline() {
+        let p = ScaleParams::default();
+        assert!((speedup(C, D, 1, 1, C, &p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_parallelism_scales_nearly_linearly() {
+        let p = ScaleParams::default();
+        let s16 = speedup(C, D, 16, 16, C, &p);
+        assert!(s16 > 12.0, "batch-16 on 16 NPUs only {s16}x");
+    }
+
+    #[test]
+    fn single_batch_saturates() {
+        let p = ScaleParams::default();
+        let s4 = speedup(C, D, 4, 1, C, &p);
+        let s16 = speedup(C, D, 16, 1, C, &p);
+        // Splitting one image across 16 NPUs loses efficiency (Fig 15's
+        // flattening batch-1 curve).
+        assert!(
+            s16 / s4 < 3.2,
+            "batch-1 should not scale linearly: {s4} -> {s16}"
+        );
+        assert!(s16 > s4, "more NPUs still help somewhat");
+    }
+
+    #[test]
+    fn more_npus_never_slower() {
+        let p = ScaleParams::default();
+        for batch in [1usize, 4, 16] {
+            let mut prev = 0.0;
+            for npus in [1usize, 2, 4, 8, 16] {
+                let s = speedup(C, D, npus, batch, C, &p);
+                assert!(s + 1e-9 >= prev, "batch {batch}, {npus} NPUs: {s} < {prev}");
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn batching_helps_at_scale() {
+        let p = ScaleParams::default();
+        let b1 = speedup(C, D, 16, 1, C, &p);
+        let b4 = speedup(C, D, 16, 4, C, &p);
+        assert!(b4 > b1, "batch 4 {b4} should beat batch 1 {b1} at 16 NPUs");
+    }
+
+    #[test]
+    #[should_panic(expected = "npus and batch must be positive")]
+    fn zero_npus_panics() {
+        let _ = batch_cycles(1, 1, 0, 1, &ScaleParams::default());
+    }
+
+    #[test]
+    fn bandwidth_caps_large_batches() {
+        let p = ScaleParams::default();
+        // A memory-heavy workload: batch 16 hits the shared channel before
+        // batch 4 does.
+        let heavy = 3_000_000_000u64;
+        let s4 = speedup(C, heavy, 16, 4, C, &p);
+        let s16 = speedup(C, heavy, 16, 16, C, &p);
+        assert!(
+            s4 >= s16,
+            "batch 4 {s4} should match or beat batch 16 {s16}"
+        );
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Area and energy models for the OLAccel reproduction.
+//!
+//! The paper synthesized Verilog with a commercial 65 nm LP library at
+//! 250 MHz / 1.0 V, used CACTI for SRAM and Micron's calculator for DRAM.
+//! We substitute parametric models (DESIGN.md §2): bitwidth-scaled MAC
+//! area/energy, a CACTI-style capacity-scaled SRAM model, and a flat
+//! pJ/bit DRAM cost. Constants are calibrated against the paper's published
+//! synthesis anchors (Table I areas), which is exactly the information a
+//! reproduction without the commercial library has.
+//!
+//! All energies are in picojoules, areas in mm², capacities in bits.
+//!
+//! # Example
+//!
+//! ```
+//! use ola_energy::{mac::mac_energy, params::TechParams};
+//!
+//! let tech = TechParams::default();
+//! // Reduced precision wins quadratically on the multiplier.
+//! assert!(mac_energy(&tech, 4, 4, 24) < mac_energy(&tech, 16, 16, 24) / 4.0);
+//! ```
+
+pub mod account;
+pub mod config;
+pub mod dram;
+pub mod mac;
+pub mod params;
+pub mod sram;
+
+pub use account::EnergyBreakdown;
+pub use config::{AcceleratorConfig, AcceleratorKind, ComparisonMode};
+pub use params::TechParams;

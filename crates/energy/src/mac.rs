@@ -1,0 +1,85 @@
+//! MAC unit area and energy vs bitwidth.
+
+use crate::params::TechParams;
+
+/// Area of one bare MAC datapath (multiplier + accumulator), mm².
+///
+/// The multiplier scales with the product of operand widths (array
+/// multiplier), the accumulator with its width.
+pub fn mac_area(tech: &TechParams, weight_bits: u32, act_bits: u32, acc_bits: u32) -> f64 {
+    tech.mult_area_per_bit2 * (weight_bits * act_bits) as f64
+        + tech.acc_area_per_bit * acc_bits as f64
+}
+
+/// Energy of one active MAC operation, pJ.
+pub fn mac_energy(tech: &TechParams, weight_bits: u32, act_bits: u32, acc_bits: u32) -> f64 {
+    tech.mult_energy_per_bit2 * (weight_bits * act_bits) as f64
+        + tech.acc_energy_per_bit * acc_bits as f64
+}
+
+/// Energy of a clock-gated (zero-input) MAC op in Eyeriss, pJ.
+pub fn gated_mac_energy(tech: &TechParams, weight_bits: u32, act_bits: u32, acc_bits: u32) -> f64 {
+    mac_energy(tech, weight_bits, act_bits, acc_bits) * tech.gated_mac_fraction
+}
+
+/// Area of one Eyeriss-style PE (MAC + private scratchpad + control), mm².
+pub fn eyeriss_pe_area(tech: &TechParams, bits: u32) -> f64 {
+    mac_area(tech, bits, bits, bits + 8)
+        + tech.pe_linear_area_per_bit * bits as f64
+        + tech.pe_fixed_area
+}
+
+/// Area of one ZeNA PE (Eyeriss PE + zero-skip logic), mm².
+pub fn zena_pe_area(tech: &TechParams, bits: u32) -> f64 {
+    eyeriss_pe_area(tech, bits) + tech.zena_skip_area
+}
+
+/// Area of one OLAccel SIMD-lane MAC (shared buffers live at group level),
+/// mm². `weight_bits`/`act_bits` are the lane's operand widths: 4x4 for
+/// normal lanes, 16x4 (or 8x4) for outlier-PE-group lanes.
+pub fn olaccel_mac_area(tech: &TechParams, weight_bits: u32, act_bits: u32) -> f64 {
+    mac_area(tech, weight_bits, act_bits, 24) + tech.olaccel_mac_fixed_area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_multiplier_scaling() {
+        let t = TechParams::default();
+        let e16 = mac_energy(&t, 16, 16, 24);
+        let e8 = mac_energy(&t, 8, 8, 24);
+        let e4 = mac_energy(&t, 4, 4, 24);
+        assert!(e16 > 2.9 * e8, "16b {e16} vs 8b {e8}");
+        assert!(e8 >= 2.0 * e4, "8b {e8} vs 4b {e4}");
+        // 16-bit vs 4-bit: the full quadratic gap the paper's datapath wins.
+        assert!(e16 > 5.0 * e4, "16b {e16} vs 4b {e4}");
+    }
+
+    #[test]
+    fn eyeriss_pe_area_matches_table1_anchors() {
+        let t = TechParams::default();
+        // 165 PEs at 16 bits -> 1.53 mm² (Table I).
+        let total16 = 165.0 * eyeriss_pe_area(&t, 16);
+        assert!((total16 - 1.53).abs() < 0.08, "got {total16}");
+        // 165 PEs at 8 bits -> 0.96 mm².
+        let total8 = 165.0 * eyeriss_pe_area(&t, 8);
+        assert!((total8 - 0.96).abs() < 0.08, "got {total8}");
+    }
+
+    #[test]
+    fn zena_pe_area_matches_table1_anchors() {
+        let t = TechParams::default();
+        let total16 = 168.0 * zena_pe_area(&t, 16);
+        assert!((total16 - 1.66).abs() < 0.1, "got {total16}");
+        let total8 = 168.0 * zena_pe_area(&t, 8);
+        assert!((total8 - 1.01).abs() < 0.1, "got {total8}");
+    }
+
+    #[test]
+    fn gating_saves_energy() {
+        let t = TechParams::default();
+        assert!(gated_mac_energy(&t, 16, 16, 24) < 0.2 * mac_energy(&t, 16, 16, 24));
+    }
+}

@@ -1,0 +1,108 @@
+//! Technology constants (65 nm LP, 250 MHz, 1.0 V equivalents).
+
+/// Technology parameters shared by the area and energy models.
+///
+/// Defaults are calibrated to the paper's anchors: Table I component areas
+/// and the DRAM/SRAM/logic energy proportions visible in Figs 11-13. They
+/// can be overridden for sensitivity studies.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TechParams {
+    /// Multiplier area coefficient, mm² per (weight-bit x activation-bit).
+    pub mult_area_per_bit2: f64,
+    /// Adder/accumulator area, mm² per accumulator bit.
+    pub acc_area_per_bit: f64,
+    /// Per-PE area that scales linearly with operand width (pipeline
+    /// registers + the per-PE scratchpad, whose byte count tracks the data
+    /// width), mm² per bit.
+    pub pe_linear_area_per_bit: f64,
+    /// Fixed per-PE control/overhead area for Eyeriss-style PEs, mm².
+    pub pe_fixed_area: f64,
+    /// Extra per-PE area for ZeNA's zero-skip logic (index queues, lookahead),
+    /// mm².
+    pub zena_skip_area: f64,
+    /// Fixed per-MAC overhead in OLAccel's SIMD lanes (no private scratchpad;
+    /// group buffers are shared), mm².
+    pub olaccel_mac_fixed_area: f64,
+    /// Per-PE-group shared overhead (group buffers, broadcast, skip logic),
+    /// mm².
+    pub olaccel_group_area: f64,
+    /// Per-cluster overhead (cluster buffers, tri-buffer, two accumulation
+    /// units, control) at 16-bit outlier activations, mm².
+    pub olaccel_cluster_area_16: f64,
+    /// Same at 8-bit outlier activations (narrower outlier datapath and
+    /// tri-buffer ports), mm².
+    pub olaccel_cluster_area_8: f64,
+
+    /// Multiplier energy, pJ per (weight-bit x activation-bit) per op.
+    pub mult_energy_per_bit2: f64,
+    /// Accumulator energy, pJ per accumulator bit per op.
+    pub acc_energy_per_bit: f64,
+    /// Fraction of MAC energy still burned when Eyeriss clock-gates a
+    /// zero-input op.
+    pub gated_mac_fraction: f64,
+    /// Control/bus energy per issued op, pJ (the "logic" tail).
+    pub control_energy_per_op: f64,
+
+    /// SRAM access energy: fixed pJ per bit.
+    pub sram_e0_per_bit: f64,
+    /// SRAM access energy: pJ per bit per sqrt(capacity-bit) — the
+    /// CACTI-like bitline/wordline term.
+    pub sram_e1_per_bit: f64,
+    /// SRAM leakage not modeled (LP process, paper reports dynamic energy).
+    /// SRAM area, mm² per bit (6T cell + periphery amortized).
+    pub sram_area_per_bit: f64,
+
+    /// DRAM energy, pJ per bit transferred (activate + read/write + I/O,
+    /// Micron-style aggregate).
+    pub dram_energy_per_bit: f64,
+    /// Off-chip DRAM bandwidth per NPU-class chip, bits per cycle at
+    /// 250 MHz (used by the Fig 15 scalability model).
+    pub dram_bits_per_cycle: f64,
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        TechParams {
+            // Area: fit so eyeriss_pe_area(16) = 9.27e-3 and (8) = 5.82e-3
+            // (165 PEs -> 1.53 / 0.96 mm², Table I).
+            mult_area_per_bit2: 9.66e-6,
+            acc_area_per_bit: 3.0e-5,
+            pe_linear_area_per_bit: 1.7e-4,
+            pe_fixed_area: 3.36e-3,
+            zena_skip_area: 0.4e-3,
+            olaccel_mac_fixed_area: 2.0e-4,
+            olaccel_group_area: 2.0e-3,
+            olaccel_cluster_area_16: 59.0e-3,
+            olaccel_cluster_area_8: 10.5e-3,
+
+            // Energy: 16x16 MAC ~ 4.3 pJ, 4x4 MAC ~ 0.72 pJ in 65 nm.
+            mult_energy_per_bit2: 0.015,
+            acc_energy_per_bit: 0.02,
+            gated_mac_fraction: 0.10,
+            control_energy_per_op: 0.15,
+
+            sram_e0_per_bit: 0.08,
+            sram_e1_per_bit: 3.0e-4,
+            sram_area_per_bit: 6.0e-7,
+
+            // Effective pJ/bit across activate+rw+IO for a low-power DRAM
+            // stream at high row locality (weights stream sequentially).
+            dram_energy_per_bit: 4.0,
+            // ~8 GB/s per NPU at 250 MHz = 256 bits/cycle.
+            dram_bits_per_cycle: 256.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive() {
+        let t = TechParams::default();
+        assert!(t.mult_area_per_bit2 > 0.0);
+        assert!(t.dram_energy_per_bit > 0.0);
+        assert!(t.gated_mac_fraction > 0.0 && t.gated_mac_fraction < 1.0);
+    }
+}

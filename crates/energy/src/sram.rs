@@ -1,0 +1,100 @@
+//! CACTI-like SRAM model: access energy and area scale with capacity.
+
+use crate::params::TechParams;
+
+/// An on-chip SRAM of a given capacity, priced per access.
+///
+/// Access energy per bit grows with the square root of capacity (bitline /
+/// wordline length), the CACTI first-order behaviour the paper leaned on.
+///
+/// # Example
+///
+/// ```
+/// use ola_energy::{sram::Sram, TechParams};
+///
+/// let tech = TechParams::default();
+/// let big = Sram::new(&tech, 4 * 1024 * 1024 * 8); // 4 MiB
+/// let small = Sram::new(&tech, 16 * 1024 * 8);     // 16 KiB
+/// assert!(big.energy_per_bit() > small.energy_per_bit());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sram {
+    capacity_bits: u64,
+    energy_per_bit: f64,
+    area: f64,
+}
+
+impl Sram {
+    /// Models an SRAM of `capacity_bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bits` is zero.
+    pub fn new(tech: &TechParams, capacity_bits: u64) -> Self {
+        assert!(capacity_bits > 0, "capacity must be positive");
+        let energy_per_bit =
+            tech.sram_e0_per_bit + tech.sram_e1_per_bit * (capacity_bits as f64).sqrt();
+        Sram {
+            capacity_bits,
+            energy_per_bit,
+            area: tech.sram_area_per_bit * capacity_bits as f64,
+        }
+    }
+
+    /// Capacity in bits.
+    pub fn capacity_bits(&self) -> u64 {
+        self.capacity_bits
+    }
+
+    /// Dynamic energy per accessed bit, pJ.
+    pub fn energy_per_bit(&self) -> f64 {
+        self.energy_per_bit
+    }
+
+    /// Energy of one access of `width_bits`, pJ.
+    pub fn access_energy(&self, width_bits: u64) -> f64 {
+        self.energy_per_bit * width_bits as f64
+    }
+
+    /// Macro area, mm².
+    pub fn area(&self) -> f64 {
+        self.area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_grows_sublinearly_with_capacity() {
+        let t = TechParams::default();
+        let a = Sram::new(&t, 1 << 16);
+        let b = Sram::new(&t, 1 << 24); // 256x capacity
+        let ratio = b.energy_per_bit() / a.energy_per_bit();
+        assert!(ratio > 1.5 && ratio < 16.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn access_energy_linear_in_width() {
+        let t = TechParams::default();
+        let s = Sram::new(&t, 1 << 20);
+        assert!((s.access_energy(32) - 2.0 * s.access_energy(16)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plausible_magnitudes() {
+        let t = TechParams::default();
+        // A 393 KB buffer (AlexNet activations, Table I) ~ 1 pJ/bit.
+        let s = Sram::new(&t, 393 * 1024 * 8);
+        assert!(
+            s.energy_per_bit() > 0.5 && s.energy_per_bit() < 3.0,
+            "{}",
+            s.energy_per_bit()
+        );
+        // Area of 4.8 MB on-chip memory should be several mm² (dominating
+        // the logic, as the paper's ISO-area setup implies).
+        let big = Sram::new(&t, 48 * 1024 * 1024);
+        assert!(big.area() > 10.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! CLI entry point for regenerating the paper's tables and figures.
+//!
+//! ```text
+//! olaccel-repro [EXPERIMENT]... [--fast] [--out DIR]
+//!
+//! EXPERIMENT  fig1 fig2 fig3 table1 fig11 fig12 fig13 fig14 fig15 fig16
+//!             fig17 fig18 fig19 validate extra-resnet101 extra-densenet121
+//!             all (default)
+//! --fast      reduced spatial scale / training budget (CI-friendly)
+//! --out DIR   additionally write each report to DIR/<experiment>.txt
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let out_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let mut names: Vec<&str> = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--out" {
+            skip_next = true;
+        } else if !a.starts_with("--") {
+            names.push(a.as_str());
+        }
+    }
+    let names: Vec<&str> = if names.is_empty() || names.contains(&"all") {
+        ola_harness::EXPERIMENTS.to_vec()
+    } else {
+        names
+    };
+    if let Some(dir) = &out_dir {
+        fs::create_dir_all(dir).expect("create output directory");
+    }
+    for name in names {
+        let report = ola_harness::run_experiment(name, fast);
+        println!("{report}");
+        if let Some(dir) = &out_dir {
+            fs::write(dir.join(format!("{name}.txt")), &report).expect("write report");
+        }
+    }
+}

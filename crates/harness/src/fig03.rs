@@ -1,0 +1,117 @@
+//! Fig 3: accuracy of the five networks at 4 bits with their per-network
+//! outlier ratios (AlexNet 3.5%, VGG-16 1%, ResNet-18/101 3%, DenseNet 3%).
+//!
+//! Ground truth comes from the trained SynthNet (Fig 2's setup); the five
+//! ImageNet networks are reported through the documented SQNR surrogate of
+//! [`ola_quant::accuracy`] applied to their synthetic trained-like weights —
+//! a correspondence check, not an ImageNet measurement (DESIGN.md §2).
+
+use crate::fig02::TrainedSynthNet;
+use crate::report::{pct, table};
+use ola_nn::synth::{synthesize_params, weight_values, SynthConfig};
+use ola_nn::zoo::{self, ZooConfig};
+use ola_quant::accuracy::{evaluate_synthnet, mean_weight_sqnr_db, surrogate_top5_drop, QuantSpec};
+use ola_sim::policy::default_ratio;
+
+/// Published full-precision top-5 accuracies (for the drop presentation).
+fn fp_top5(network: &str) -> f64 {
+    match network {
+        "alexnet" => 0.803,
+        "vgg16" => 0.901,
+        "resnet18" => 0.890,
+        "resnet101" => 0.936,
+        "densenet121" => 0.923,
+        _ => f64::NAN,
+    }
+}
+
+/// Per-layer weight populations of a zoo network (sampled for generators).
+fn layer_weights(network: &str) -> Vec<Vec<f32>> {
+    let cfg = ZooConfig {
+        spatial_scale: 8,
+        include_classifier: true,
+        batch: 1,
+    };
+    let net = zoo::by_name(network, &cfg);
+    let params = synthesize_params(&net, &SynthConfig::for_network(network));
+    net.compute_nodes()
+        .iter()
+        .map(|&id| weight_values(&params, id))
+        .collect()
+}
+
+/// Computes and formats Fig 3.
+pub fn run(fast: bool) -> String {
+    // Measured path: SynthNet at the AlexNet operating point.
+    let t = TrainedSynthNet::train(fast);
+    let measured = evaluate_synthnet(&t.net, &t.test, &t.train, &QuantSpec::paper_4bit(0.035), 5);
+
+    // Surrogate path: the five ImageNet networks.
+    let mut rows = Vec::new();
+    for network in ["alexnet", "vgg16", "resnet18", "resnet101", "densenet121"] {
+        let ratio = if network == "alexnet" {
+            0.035
+        } else {
+            default_ratio(network)
+        };
+        let weights = layer_weights(network);
+        let spec = QuantSpec {
+            first_layer_weight_bits: if network.starts_with("resnet") { 8 } else { 4 },
+            ..QuantSpec::paper_4bit(ratio)
+        };
+        let sqnr = mean_weight_sqnr_db(&weights, &spec);
+        let sqnr0 = mean_weight_sqnr_db(&weights, &QuantSpec::paper_4bit(0.0));
+        let drop = surrogate_top5_drop(sqnr);
+        let drop0 = surrogate_top5_drop(sqnr0);
+        let fp = fp_top5(network);
+        rows.push(vec![
+            network.to_string(),
+            pct(ratio),
+            format!("{sqnr:.1} dB"),
+            pct(fp),
+            pct((fp - drop / 100.0).max(0.0)),
+            pct((fp - drop0 / 100.0).max(0.0)),
+        ]);
+    }
+    let body = table(
+        &[
+            "network",
+            "ratio",
+            "w-SQNR",
+            "FP top-5",
+            "est. OLA top-5",
+            "est. linear-4b top-5",
+        ],
+        &rows,
+    );
+    format!(
+        "=== Fig 3: 4-bit + outliers across networks ===\n\
+         Measured (SynthNet proxy @3.5% outliers): top-1 {} (FP {}), top-5 {} (FP {})\n\n\
+         SQNR surrogate for the ImageNet networks (documented stand-in, DESIGN.md §2):\n{body}\n\
+         Paper: every network stays within ~1% of its full-precision top-5 at its ratio,\n\
+         while plain 4-bit linear quantization collapses.\n",
+        pct(measured.top1),
+        pct(t.fp_top1),
+        pct(measured.topk),
+        pct(t.fp_top5),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surrogate_separates_outlier_aware_from_linear() {
+        let weights = layer_weights("resnet18");
+        let ola = mean_weight_sqnr_db(&weights, &QuantSpec::paper_4bit(0.03));
+        let lin = mean_weight_sqnr_db(&weights, &QuantSpec::paper_4bit(0.0));
+        assert!(ola > lin + 5.0, "outlier-aware {ola} dB vs linear {lin} dB");
+        assert!(
+            surrogate_top5_drop(ola) < 5.0,
+            "drop {}",
+            surrogate_top5_drop(ola)
+        );
+        assert!(surrogate_top5_drop(lin) > 10.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Workload preparation shared by the experiments: build a zoo network with
+//! synthetic trained-like parameters, run the f32 reference once, and
+//! extract per-layer workloads for each policy of interest.
+
+use ola_baselines::{EyerissSim, ZenaSim};
+use ola_core::OlAccelSim;
+use ola_energy::{ComparisonMode, TechParams};
+use ola_nn::synth::{
+    activation_sparsity_target, shape_activation_sparsity, synthesize_params, SynthConfig,
+};
+use ola_nn::zoo::{self, ZooConfig};
+use ola_nn::{Network, Params};
+use ola_sim::workload::{extract_from_acts, WorkloadSet};
+use ola_sim::{NetworkRun, QuantPolicy};
+use ola_tensor::init::uniform_tensor;
+use ola_tensor::Tensor;
+
+/// Default spatial scale per network: full resolution where the naive f32
+/// reference is fast enough, modestly reduced where it is not. Relative
+/// accelerator comparisons are scale-invariant (all models consume the same
+/// workload); EXPERIMENTS.md records the scale of every run.
+pub fn default_scale(network: &str, fast: bool) -> usize {
+    if fast {
+        return match network {
+            "alexnet" => 4,
+            _ => 8,
+        };
+    }
+    match network {
+        "alexnet" => 1,
+        "resnet18" => 2,
+        _ => 4,
+    }
+}
+
+/// A prepared network: graph, parameters, and one forward pass.
+pub struct Prepared {
+    /// The network graph.
+    pub net: Network,
+    /// Synthetic trained-like parameters.
+    pub params: Params,
+    /// All node outputs of the reference forward pass.
+    pub acts: Vec<Tensor>,
+    /// Network name.
+    pub network: String,
+}
+
+impl Prepared {
+    /// Builds and runs a zoo network at the given spatial scale. The
+    /// synthetic parameters are bias-shaped so each layer's post-ReLU
+    /// sparsity matches the published activation sparsity of the trained
+    /// model (DESIGN.md §2).
+    pub fn new(network: &str, scale: usize) -> Self {
+        let cfg = ZooConfig {
+            spatial_scale: scale,
+            include_classifier: true,
+            batch: 1,
+        };
+        let net = zoo::by_name(network, &cfg);
+        let mut params = synthesize_params(&net, &SynthConfig::for_network(network));
+        let input = uniform_tensor(net.input_shape(), -1.0, 1.0, 0xDA7A + scale as u64);
+        shape_activation_sparsity(
+            &net,
+            &mut params,
+            &input,
+            |li| activation_sparsity_target(network, li),
+            2,
+        );
+        let acts = net.forward(&params, &input);
+        Prepared {
+            net,
+            params,
+            acts,
+            network: network.to_string(),
+        }
+    }
+
+    /// Extracts a workload set under `policy` (reuses the forward pass).
+    pub fn workloads(&self, policy: &QuantPolicy) -> WorkloadSet {
+        extract_from_acts(&self.net, &self.params, &self.acts, policy)
+    }
+
+    /// Workloads under the paper's standard OLAccel16 / OLAccel8 policies.
+    pub fn paper_workloads(&self) -> (WorkloadSet, WorkloadSet) {
+        (
+            self.workloads(&QuantPolicy::olaccel16(&self.network)),
+            self.workloads(&QuantPolicy::olaccel8(&self.network)),
+        )
+    }
+}
+
+/// Results of the six-accelerator comparison of Figs 11-13.
+pub struct SixWay {
+    /// Eyeriss at 16 bits (the normalization reference).
+    pub eyeriss16: NetworkRun,
+    /// Eyeriss at 8 bits.
+    pub eyeriss8: NetworkRun,
+    /// ZeNA at 16 bits.
+    pub zena16: NetworkRun,
+    /// ZeNA at 8 bits.
+    pub zena8: NetworkRun,
+    /// OLAccel, 16-bit outliers (768 MACs).
+    pub olaccel16: NetworkRun,
+    /// OLAccel, 8-bit outliers (576 MACs).
+    pub olaccel8: NetworkRun,
+}
+
+impl SixWay {
+    /// Runs all six configurations on the paper's workloads.
+    pub fn run(prep: &Prepared, tech: &TechParams) -> SixWay {
+        let (ws16, ws8) = prep.paper_workloads();
+        SixWay {
+            eyeriss16: EyerissSim::new(*tech, ComparisonMode::Bits16).simulate(&ws16),
+            eyeriss8: EyerissSim::new(*tech, ComparisonMode::Bits8).simulate(&ws8),
+            zena16: ZenaSim::new(*tech, ComparisonMode::Bits16).simulate(&ws16),
+            zena8: ZenaSim::new(*tech, ComparisonMode::Bits8).simulate(&ws8),
+            olaccel16: OlAccelSim::new(*tech, ComparisonMode::Bits16).simulate(&ws16),
+            olaccel8: OlAccelSim::new(*tech, ComparisonMode::Bits8).simulate(&ws8),
+        }
+    }
+
+    /// All six runs, labeled, in the paper's plotting order.
+    pub fn all(&self) -> [&NetworkRun; 6] {
+        [
+            &self.eyeriss16,
+            &self.eyeriss8,
+            &self.zena16,
+            &self.zena8,
+            &self.olaccel16,
+            &self.olaccel8,
+        ]
+    }
+}

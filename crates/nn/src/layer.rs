@@ -1,0 +1,193 @@
+//! Layer operator specifications.
+
+use ola_tensor::{ConvGeometry, Shape4};
+
+/// Specification of a 2-D convolution layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Conv2dSpec {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Kernel/stride/padding geometry.
+    pub geometry: ConvGeometry,
+    /// Channel groups (2 for AlexNet's historically split conv2/4/5; 1
+    /// elsewhere). Each output channel sees `in_channels / groups` inputs.
+    pub groups: usize,
+}
+
+impl Conv2dSpec {
+    /// Creates an ungrouped conv spec.
+    pub fn new(in_channels: usize, out_channels: usize, geometry: ConvGeometry) -> Self {
+        Conv2dSpec {
+            in_channels,
+            out_channels,
+            geometry,
+            groups: 1,
+        }
+    }
+
+    /// Creates a grouped conv spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` does not divide both channel counts.
+    pub fn with_groups(
+        in_channels: usize,
+        out_channels: usize,
+        geometry: ConvGeometry,
+        groups: usize,
+    ) -> Self {
+        assert!(groups >= 1, "groups must be positive");
+        assert_eq!(in_channels % groups, 0, "groups must divide in_channels");
+        assert_eq!(out_channels % groups, 0, "groups must divide out_channels");
+        Conv2dSpec {
+            in_channels,
+            out_channels,
+            geometry,
+            groups,
+        }
+    }
+
+    /// Weight tensor shape `(out, in/groups, k, k)`.
+    pub fn weight_shape(&self) -> Shape4 {
+        Shape4::new(
+            self.out_channels,
+            self.in_channels / self.groups,
+            self.geometry.kernel,
+            self.geometry.kernel,
+        )
+    }
+
+    /// Number of weights.
+    pub fn weight_count(&self) -> usize {
+        self.weight_shape().len()
+    }
+
+    /// MAC count for the given input spatial size.
+    pub fn macs(&self, ih: usize, iw: usize) -> u64 {
+        self.geometry
+            .macs(self.in_channels / self.groups, self.out_channels, ih, iw)
+    }
+}
+
+/// Specification of a fully-connected (linear) layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LinearSpec {
+    /// Input features (flattened).
+    pub in_features: usize,
+    /// Output features.
+    pub out_features: usize,
+}
+
+impl LinearSpec {
+    /// Creates a linear spec.
+    pub fn new(in_features: usize, out_features: usize) -> Self {
+        LinearSpec {
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Number of weights.
+    pub fn weight_count(&self) -> usize {
+        self.in_features * self.out_features
+    }
+
+    /// MAC count per input sample.
+    pub fn macs(&self) -> u64 {
+        self.weight_count() as u64
+    }
+}
+
+/// Pooling flavor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+}
+
+/// Specification of a pooling layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PoolSpec {
+    /// Max or average.
+    pub kind: PoolKind,
+    /// Window/stride/padding geometry.
+    pub geometry: ConvGeometry,
+}
+
+impl PoolSpec {
+    /// Creates a pool spec.
+    pub fn new(kind: PoolKind, kernel: usize, stride: usize, pad: usize) -> Self {
+        PoolSpec {
+            kind,
+            geometry: ConvGeometry::new(kernel, stride, pad),
+        }
+    }
+}
+
+/// A network-graph operator.
+///
+/// The five paper networks need exactly these ops. `Conv` and `Linear` are
+/// the only parameterized (weight-bearing) ops — everything the accelerator
+/// simulators cost out maps to one of those two.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Op {
+    /// Graph input placeholder (raw image activations).
+    Input,
+    /// 2-D convolution.
+    Conv(Conv2dSpec),
+    /// Fully-connected layer (consumes a flattened input).
+    Linear(LinearSpec),
+    /// Rectified linear unit.
+    ReLU,
+    /// Spatial pooling.
+    Pool(PoolSpec),
+    /// Global average pool to 1x1 spatial.
+    GlobalAvgPool,
+    /// Inference-time batch normalization (affine scale/shift per channel).
+    BatchNorm,
+    /// Element-wise addition of two inputs (residual connections).
+    Add,
+    /// Channel-wise concatenation of two inputs (dense connections).
+    Concat,
+}
+
+impl Op {
+    /// Whether the op carries weights that an accelerator must fetch and
+    /// multiply (i.e. is costed by the simulators).
+    pub fn is_compute(&self) -> bool {
+        matches!(self, Op::Conv(_) | Op::Linear(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_spec_shapes() {
+        let s = Conv2dSpec::new(96, 256, ConvGeometry::new(5, 1, 2));
+        assert_eq!(s.weight_shape(), Shape4::new(256, 96, 5, 5));
+        assert_eq!(s.weight_count(), 256 * 96 * 25);
+        // AlexNet conv2 on 27x27: 27*27*256*96*25 MACs.
+        assert_eq!(s.macs(27, 27), 27 * 27 * 256 * 96 * 25);
+    }
+
+    #[test]
+    fn linear_spec_counts() {
+        let s = LinearSpec::new(9216, 4096);
+        assert_eq!(s.weight_count(), 9216 * 4096);
+        assert_eq!(s.macs(), 9216 * 4096);
+    }
+
+    #[test]
+    fn compute_ops() {
+        assert!(Op::Conv(Conv2dSpec::new(1, 1, ConvGeometry::new(1, 1, 0))).is_compute());
+        assert!(Op::Linear(LinearSpec::new(1, 1)).is_compute());
+        assert!(!Op::ReLU.is_compute());
+        assert!(!Op::Add.is_compute());
+    }
+}

@@ -1,0 +1,151 @@
+//! Design-time activation threshold calibration (§II).
+//!
+//! The hardware cannot afford runtime histograms, so the paper calibrates a
+//! static magnitude threshold per layer from sample inputs (100 random
+//! images); at runtime an activation is an outlier iff it exceeds its
+//! layer's threshold. Fig 16 plots the resulting *effective* outlier ratio
+//! (outliers / all activations, zeros included) across layers.
+
+use crate::outlier::OutlierQuantizer;
+use ola_nn::{Network, NodeId, Params};
+use ola_tensor::stats::magnitude_threshold;
+use ola_tensor::Tensor;
+
+/// Calibration result for the input activations of one compute layer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LayerCalibration {
+    /// The compute node this calibration feeds.
+    pub node: NodeId,
+    /// Magnitude threshold above which an activation is an outlier.
+    pub threshold: f32,
+    /// Maximum absolute activation observed during calibration.
+    pub abs_max: f32,
+    /// Outlier ratio among *non-zero* activations (the calibration target).
+    pub nonzero_outlier_ratio: f64,
+    /// Outlier ratio among *all* activations, zeros included — the paper's
+    /// "effective" ratio, which ReLU sparsity pushes below the target.
+    pub effective_outlier_ratio: f64,
+    /// Fraction of exactly-zero activations.
+    pub zero_fraction: f64,
+}
+
+impl LayerCalibration {
+    /// Builds an activation quantizer from this calibration.
+    pub fn quantizer(&self, low_bits: u8, high_bits: u8) -> OutlierQuantizer {
+        OutlierQuantizer::with_threshold(
+            self.threshold,
+            self.abs_max.max(self.threshold.min(f32::MAX)),
+            self.nonzero_outlier_ratio,
+            low_bits,
+            high_bits,
+        )
+    }
+}
+
+/// Calibrates per-layer activation thresholds by running `samples` through
+/// the network and taking the top-`ratio` magnitude boundary of the
+/// *non-zero* input activations of every compute (conv/linear) node.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn calibrate_activations(
+    net: &Network,
+    params: &Params,
+    samples: &[Tensor],
+    ratio: f64,
+) -> Vec<LayerCalibration> {
+    assert!(!samples.is_empty(), "need at least one calibration sample");
+    let compute = net.compute_nodes();
+    // Gather input-activation values per compute node across all samples.
+    let mut collected: Vec<Vec<f32>> = vec![Vec::new(); compute.len()];
+    for sample in samples {
+        let outs = net.forward(params, sample);
+        for (k, &node) in compute.iter().enumerate() {
+            let src = net.nodes()[node].inputs[0];
+            collected[k].extend_from_slice(outs[src].as_slice());
+        }
+    }
+    compute
+        .iter()
+        .zip(collected)
+        .map(|(&node, values)| calibrate_values(node, &values, ratio))
+        .collect()
+}
+
+/// Calibrates a threshold directly from a value population.
+pub fn calibrate_values(node: NodeId, values: &[f32], ratio: f64) -> LayerCalibration {
+    let total = values.len().max(1);
+    let nonzero: Vec<f32> = values.iter().copied().filter(|&v| v != 0.0).collect();
+    let zero_fraction = 1.0 - nonzero.len() as f64 / total as f64;
+    let abs_max = nonzero.iter().fold(0.0_f32, |m, &v| m.max(v.abs()));
+    let threshold = if nonzero.is_empty() {
+        f32::INFINITY
+    } else {
+        magnitude_threshold(&nonzero, ratio)
+    };
+    let outliers = nonzero.iter().filter(|&&v| v.abs() >= threshold).count();
+    let nonzero_outlier_ratio = if nonzero.is_empty() {
+        0.0
+    } else {
+        outliers as f64 / nonzero.len() as f64
+    };
+    LayerCalibration {
+        node,
+        threshold,
+        abs_max: if abs_max > 0.0 { abs_max } else { 1.0 },
+        nonzero_outlier_ratio,
+        effective_outlier_ratio: outliers as f64 / total as f64,
+        zero_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ola_nn::synth::{synthesize_params, SynthConfig};
+    use ola_nn::zoo::{self, ZooConfig};
+    use ola_tensor::init::uniform_tensor;
+
+    #[test]
+    fn calibrate_values_targets_nonzero_ratio() {
+        // 50 zeros + values 1..=50; ratio 0.1 of non-zeros => ~5 outliers.
+        let mut values = vec![0.0_f32; 50];
+        values.extend((1..=50).map(|i| i as f32));
+        let cal = calibrate_values(3, &values, 0.1);
+        assert_eq!(cal.node, 3);
+        assert!((cal.zero_fraction - 0.5).abs() < 1e-9);
+        assert!(cal.nonzero_outlier_ratio >= 0.08 && cal.nonzero_outlier_ratio <= 0.14);
+        // Effective ratio halves because of zeros.
+        assert!(cal.effective_outlier_ratio < cal.nonzero_outlier_ratio);
+    }
+
+    #[test]
+    fn calibrate_network_layers() {
+        let cfg = ZooConfig {
+            spatial_scale: 8,
+            include_classifier: false,
+            batch: 1,
+        };
+        let net = zoo::alexnet(&cfg);
+        let params = synthesize_params(&net, &SynthConfig::default());
+        let input = uniform_tensor(net.input_shape(), -1.0, 1.0, 5);
+        let cals = calibrate_activations(&net, &params, &[input], 0.03);
+        assert_eq!(cals.len(), net.compute_nodes().len());
+        // conv1's input is the raw image: dense, so effective == nonzero.
+        let first = &cals[0];
+        assert!(first.zero_fraction < 0.01);
+        // conv4's input is a bare ReLU output (no pooling in between), so it
+        // carries post-ReLU sparsity. (conv3's input passed through a max
+        // pool, which densifies.)
+        assert!(
+            cals[3].zero_fraction > 0.2,
+            "conv4 input not sparse: {}",
+            cals[3].zero_fraction
+        );
+        for c in &cals {
+            assert!(c.threshold > 0.0);
+            assert!(c.abs_max >= c.threshold || c.threshold.is_infinite());
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Hardware data structures of §III-B: the 80-bit weight chunk and the
+//! sparse outlier-activation chunk, plus the Fig 17 multi-outlier analysis.
+//!
+//! A weight chunk packs 16 4-bit weights (one per output channel for a fixed
+//! input channel and kernel position) together with outlier metadata:
+//!
+//! * `OLidx` — which of the 16 lanes holds an outlier (when exactly one);
+//! * `OLmsb` — the most-significant 4 magnitude bits of that 8-bit outlier
+//!   (its sign and least-significant 3 bits live in the lane's nibble);
+//! * `OLptr` — when *more than one* lane is an outlier, points to an
+//!   overflow chunk whose 16 nibbles carry all the MSBs; the MAC pipeline
+//!   then takes two cycles instead of one.
+
+/// Weights per chunk (= SIMD lanes per PE group).
+pub const CHUNK_WEIGHTS: usize = 16;
+
+/// Maximum magnitude of a normal (4-bit sign-magnitude) weight level.
+pub const NORMAL_MAX: i32 = 7;
+/// Maximum magnitude of an outlier (8-bit sign-magnitude) weight level.
+pub const OUTLIER_MAX: i32 = 127;
+
+/// A quantized weight destined for chunk encoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuantizedWeight {
+    /// Signed integer level. Magnitude <= 7 for normal weights, <= 127 for
+    /// outliers.
+    pub level: i32,
+    /// Whether this weight is an outlier (8-bit).
+    pub outlier: bool,
+}
+
+impl QuantizedWeight {
+    /// A normal (non-outlier) weight.
+    pub fn normal(level: i32) -> Self {
+        QuantizedWeight {
+            level,
+            outlier: false,
+        }
+    }
+
+    /// An outlier weight.
+    pub fn outlier(level: i32) -> Self {
+        QuantizedWeight {
+            level,
+            outlier: true,
+        }
+    }
+}
+
+/// One 80-bit weight chunk (§III-B, Figure 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WeightChunk {
+    /// 16 nibbles: bit 3 = sign, bits 0..3 = magnitude (normal weights) or
+    /// the least-significant 3 magnitude bits of an outlier.
+    pub nibbles: [u8; CHUNK_WEIGHTS],
+    /// 0 = no overflow chunk; otherwise the relative offset (in chunks) to
+    /// the overflow chunk carrying the outlier MSBs. The paper stores an
+    /// 8-bit absolute pointer into the 200-entry cluster weight buffer; a
+    /// relative offset is equivalent and buffer-size independent.
+    pub ol_ptr: u8,
+    /// Lane index of the single outlier (valid when `ol_ptr == 0` and
+    /// `ol_msb != 0`).
+    pub ol_idx: u8,
+    /// Most-significant 4 magnitude bits of the single outlier.
+    pub ol_msb: u8,
+}
+
+impl WeightChunk {
+    /// An all-zero chunk.
+    pub fn zeroed() -> Self {
+        WeightChunk {
+            nibbles: [0; CHUNK_WEIGHTS],
+            ol_ptr: 0,
+            ol_idx: 0,
+            ol_msb: 0,
+        }
+    }
+
+    /// Storage size of one chunk in bits: 16x4 weights + 8 ptr + 4 idx + 4 msb.
+    pub const BITS: u32 = 80;
+
+    /// Whether this chunk requires a second MAC cycle (>= 2 outliers).
+    pub fn is_multi_outlier(&self) -> bool {
+        self.ol_ptr != 0
+    }
+
+    /// Whether this chunk carries exactly one outlier (absorbed by the
+    /// outlier MAC at no cycle cost).
+    pub fn is_single_outlier(&self) -> bool {
+        self.ol_ptr == 0 && self.ol_msb != 0
+    }
+}
+
+fn encode_nibble(sign_negative: bool, mag3: i32) -> u8 {
+    debug_assert!((0..=7).contains(&mag3));
+    ((sign_negative as u8) << 3) | mag3 as u8
+}
+
+fn nibble_sign_mag(nibble: u8) -> (bool, i32) {
+    ((nibble & 0x8) != 0, (nibble & 0x7) as i32)
+}
+
+/// Encodes one group of up to 16 quantized weights into one base chunk plus,
+/// when two or more lanes are outliers, one overflow chunk.
+///
+/// # Panics
+///
+/// Panics if the group is longer than 16 lanes, a normal weight's magnitude
+/// exceeds 7, or an outlier's magnitude exceeds 127.
+pub fn encode_group(group: &[QuantizedWeight]) -> (WeightChunk, Option<WeightChunk>) {
+    assert!(group.len() <= CHUNK_WEIGHTS, "group too long");
+    let outlier_lanes: Vec<usize> = (0..group.len()).filter(|&i| group[i].outlier).collect();
+    let mut base = WeightChunk::zeroed();
+    let mut overflow = WeightChunk::zeroed();
+
+    for (i, w) in group.iter().enumerate() {
+        let neg = w.level < 0;
+        let mag = w.level.unsigned_abs() as i32;
+        if w.outlier {
+            assert!(mag <= OUTLIER_MAX, "outlier magnitude {mag} exceeds 8-bit");
+            base.nibbles[i] = encode_nibble(neg, mag & 0x7);
+            let msb = ((mag >> 3) & 0xF) as u8;
+            if outlier_lanes.len() >= 2 {
+                overflow.nibbles[i] = msb;
+            } else {
+                base.ol_idx = i as u8;
+                // An outlier whose MSB nibble is zero is still flagged via a
+                // non-zero OLmsb encoding? The paper stores plain MSBs; a
+                // zero-MSB "outlier" is representable as a normal weight, so
+                // fitters never produce one (|level| > 7 for outliers by
+                // construction of the threshold). Assert that invariant.
+                assert!(msb != 0 || mag <= NORMAL_MAX, "outlier with zero MSB");
+                base.ol_msb = msb;
+            }
+        } else {
+            assert!(mag <= NORMAL_MAX, "normal magnitude {mag} exceeds 4-bit");
+            base.nibbles[i] = encode_nibble(neg, mag);
+        }
+    }
+    if outlier_lanes.len() >= 2 {
+        base.ol_ptr = 1; // overflow chunk stored adjacent
+        (base, Some(overflow))
+    } else {
+        (base, None)
+    }
+}
+
+/// Decodes a base (+ optional overflow) chunk back to quantized weights for
+/// `lanes` lanes.
+///
+/// # Panics
+///
+/// Panics if `base.ol_ptr != 0` but no overflow chunk is supplied.
+pub fn decode_group(
+    base: &WeightChunk,
+    overflow: Option<&WeightChunk>,
+    lanes: usize,
+) -> Vec<QuantizedWeight> {
+    let mut out = Vec::with_capacity(lanes);
+    if base.ol_ptr != 0 {
+        let ov = overflow.expect("multi-outlier chunk requires overflow chunk");
+        for i in 0..lanes {
+            let (neg, ls3) = nibble_sign_mag(base.nibbles[i]);
+            let msb = ov.nibbles[i] as i32;
+            if msb != 0 {
+                let mag = (msb << 3) | ls3;
+                out.push(QuantizedWeight::outlier(if neg { -mag } else { mag }));
+            } else {
+                out.push(QuantizedWeight::normal(if neg { -ls3 } else { ls3 }));
+            }
+        }
+    } else {
+        for i in 0..lanes {
+            let (neg, ls3) = nibble_sign_mag(base.nibbles[i]);
+            if base.ol_msb != 0 && base.ol_idx as usize == i {
+                let mag = ((base.ol_msb as i32) << 3) | ls3;
+                out.push(QuantizedWeight::outlier(if neg { -mag } else { mag }));
+            } else {
+                out.push(QuantizedWeight::normal(if neg { -ls3 } else { ls3 }));
+            }
+        }
+    }
+    out
+}
+
+/// Encodes a flat weight stream (grouped 16 at a time, zero-padded) into a
+/// chunk buffer with overflow chunks placed adjacent to their base chunk.
+pub fn encode_buffer(weights: &[QuantizedWeight]) -> Vec<WeightChunk> {
+    let mut out = Vec::with_capacity(weights.len().div_ceil(CHUNK_WEIGHTS));
+    for group in weights.chunks(CHUNK_WEIGHTS) {
+        let (base, overflow) = encode_group(group);
+        out.push(base);
+        if let Some(ov) = overflow {
+            out.push(ov);
+        }
+    }
+    out
+}
+
+/// Decodes a buffer produced by [`encode_buffer`] back to `count` weights.
+pub fn decode_buffer(chunks: &[WeightChunk], count: usize) -> Vec<QuantizedWeight> {
+    let mut out = Vec::with_capacity(count);
+    let mut i = 0;
+    while out.len() < count {
+        let base = &chunks[i];
+        let lanes = (count - out.len()).min(CHUNK_WEIGHTS);
+        if base.ol_ptr != 0 {
+            out.extend(decode_group(base, Some(&chunks[i + 1]), lanes));
+            i += 2;
+        } else {
+            out.extend(decode_group(base, None, lanes));
+            i += 1;
+        }
+    }
+    out
+}
+
+/// A sparse outlier-activation chunk (§III-E, Figure 9): a high-precision
+/// activation plus its coordinates in the input tensor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutlierActChunk {
+    /// High-precision (8/16-bit) integer activation level.
+    pub level: i32,
+    /// Column coordinate.
+    pub w_idx: u16,
+    /// Row coordinate.
+    pub h_idx: u16,
+    /// Channel coordinate.
+    pub c_idx: u16,
+}
+
+impl OutlierActChunk {
+    /// Storage bits: the activation at `act_bits` plus three coordinate
+    /// fields sized for the given tensor dimensions.
+    pub fn bits(act_bits: u32, w: usize, h: usize, c: usize) -> u32 {
+        act_bits + ceil_log2(w) + ceil_log2(h) + ceil_log2(c)
+    }
+}
+
+fn ceil_log2(n: usize) -> u32 {
+    usize::BITS - n.max(1).saturating_sub(1).leading_zeros()
+}
+
+/// Probability that a binomial sample of `lanes` trials at outlier
+/// probability `ratio` contains **two or more** outliers — the Fig 17 curve
+/// that justified 16-lane PE groups.
+///
+/// # Panics
+///
+/// Panics if `ratio` is outside `[0, 1]`.
+pub fn multi_outlier_probability(lanes: usize, ratio: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0,1]");
+    let n = lanes as f64;
+    let p0 = (1.0 - ratio).powf(n);
+    let p1 = n * ratio * (1.0 - ratio).powf(n - 1.0);
+    (1.0 - p0 - p1).max(0.0)
+}
+
+/// Probability of **at least one** outlier among `lanes` trials — the cost a
+/// plain SIMD design (no outlier MAC) would pay, quoted in §III-A as 27.5%
+/// for 32 lanes at 1%.
+pub fn any_outlier_probability(lanes: usize, ratio: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0,1]");
+    1.0 - (1.0 - ratio).powf(lanes as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nibble_round_trip() {
+        for level in -7..=7 {
+            let (b, ov) = encode_group(&[QuantizedWeight::normal(level)]);
+            assert!(ov.is_none());
+            assert_eq!(decode_group(&b, None, 1)[0], QuantizedWeight::normal(level));
+        }
+    }
+
+    #[test]
+    fn single_outlier_no_overflow() {
+        let mut group = vec![QuantizedWeight::normal(1); 16];
+        group[5] = QuantizedWeight::outlier(-100);
+        let (base, ov) = encode_group(&group);
+        assert!(ov.is_none());
+        assert!(base.is_single_outlier());
+        assert_eq!(base.ol_idx, 5);
+        let decoded = decode_group(&base, None, 16);
+        assert_eq!(decoded, group);
+    }
+
+    #[test]
+    fn multi_outlier_uses_overflow() {
+        let mut group = vec![QuantizedWeight::normal(-3); 16];
+        group[0] = QuantizedWeight::outlier(127);
+        group[9] = QuantizedWeight::outlier(-64);
+        let (base, ov) = encode_group(&group);
+        assert!(base.is_multi_outlier());
+        let ov = ov.expect("overflow chunk");
+        let decoded = decode_group(&base, Some(&ov), 16);
+        assert_eq!(decoded, group);
+    }
+
+    #[test]
+    fn buffer_round_trip_mixed() {
+        let mut weights = Vec::new();
+        for i in 0..100 {
+            if i % 17 == 0 {
+                weights.push(QuantizedWeight::outlier(120 - i));
+            } else {
+                weights.push(QuantizedWeight::normal((i % 15) - 7));
+            }
+        }
+        let chunks = encode_buffer(&weights);
+        let decoded = decode_buffer(&chunks, weights.len());
+        assert_eq!(decoded, weights);
+    }
+
+    #[test]
+    fn chunk_is_80_bits() {
+        assert_eq!(WeightChunk::BITS, 16 * 4 + 8 + 4 + 4);
+    }
+
+    #[test]
+    fn paper_quoted_any_outlier_probability() {
+        // §III-A: 27.5% = 1 - 0.99^32 at 1% outliers on 32 lanes.
+        let p = any_outlier_probability(32, 0.01);
+        assert!((p - 0.275).abs() < 0.005, "got {p}");
+    }
+
+    #[test]
+    fn fig17_shape() {
+        // Multi-outlier probability grows with lanes and with ratio.
+        assert!(multi_outlier_probability(32, 0.05) > multi_outlier_probability(16, 0.05));
+        assert!(multi_outlier_probability(64, 0.05) > multi_outlier_probability(32, 0.05));
+        assert!(multi_outlier_probability(16, 0.05) > multi_outlier_probability(16, 0.01));
+        // Paper: at 5% ratio, 32/64 lanes exceed 50%, 16 lanes stays ~20%.
+        assert!(multi_outlier_probability(32, 0.05) > 0.45);
+        assert!(multi_outlier_probability(64, 0.05) > 0.8);
+        let p16 = multi_outlier_probability(16, 0.05);
+        assert!(p16 > 0.1 && p16 < 0.3, "p16 = {p16}");
+    }
+
+    #[test]
+    fn all_lanes_outliers_round_trip() {
+        let group: Vec<QuantizedWeight> = (0..16)
+            .map(|i| QuantizedWeight::outlier(8 + i * 7))
+            .collect();
+        let (base, ov) = encode_group(&group);
+        assert!(base.is_multi_outlier());
+        let decoded = decode_group(&base, ov.as_ref(), 16);
+        assert_eq!(decoded, group);
+    }
+
+    #[test]
+    fn short_group_padded() {
+        let group = vec![QuantizedWeight::normal(-5), QuantizedWeight::normal(3)];
+        let (base, ov) = encode_group(&group);
+        assert!(ov.is_none());
+        let decoded = decode_group(&base, None, 2);
+        assert_eq!(decoded, group);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 4-bit")]
+    fn normal_weight_magnitude_checked() {
+        let _ = encode_group(&[QuantizedWeight::normal(8)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 8-bit")]
+    fn outlier_weight_magnitude_checked() {
+        let _ = encode_group(&[QuantizedWeight::outlier(128)]);
+    }
+
+    #[test]
+    fn probabilities_at_extremes() {
+        assert_eq!(multi_outlier_probability(16, 0.0), 0.0);
+        assert!((multi_outlier_probability(16, 1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(any_outlier_probability(16, 0.0), 0.0);
+        assert!((any_outlier_probability(16, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn act_chunk_bits() {
+        // 16-bit value in a 55x55x96 tensor: 16 + 6 + 6 + 7 = 35 bits.
+        assert_eq!(OutlierActChunk::bits(16, 55, 55, 96), 35);
+        assert_eq!(OutlierActChunk::bits(8, 1, 1, 1), 8);
+    }
+}

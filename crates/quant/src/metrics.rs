@@ -1,0 +1,54 @@
+//! Quantization error metrics.
+
+/// Mean squared error between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ or `a` is empty.
+pub fn mse(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(!a.is_empty(), "empty input");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| ((x - y) as f64).powi(2))
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// Signal-to-quantization-noise ratio in dB of `quantized` relative to
+/// `original`. Returns `f64::INFINITY` for an exact reproduction.
+///
+/// # Panics
+///
+/// Panics if lengths differ, `original` is empty or all-zero.
+pub fn sqnr_db(original: &[f32], quantized: &[f32]) -> f64 {
+    let signal: f64 =
+        original.iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / original.len() as f64;
+    assert!(signal > 0.0, "original signal has zero power");
+    let noise = mse(original, quantized);
+    if noise == 0.0 {
+        return f64::INFINITY;
+    }
+    10.0 * (signal / noise).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_basics() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(mse(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+        assert_eq!(mse(&[0.0, 2.0], &[0.0, 0.0]), 2.0);
+    }
+
+    #[test]
+    fn sqnr_increases_with_fidelity() {
+        let orig = [1.0_f32, -1.0, 0.5, -0.5];
+        let close: Vec<f32> = orig.iter().map(|&v| v + 0.01).collect();
+        let far: Vec<f32> = orig.iter().map(|&v| v + 0.3).collect();
+        assert!(sqnr_db(&orig, &close) > sqnr_db(&orig, &far));
+        assert_eq!(sqnr_db(&orig, &orig), f64::INFINITY);
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! Shared simulation infrastructure for the accelerator models.
+//!
+//! The cycle-level models in `ola-core` (OLAccel) and `ola-baselines`
+//! (Eyeriss, ZeNA) all consume the same [`workload::LayerWorkload`]
+//! description: layer geometry plus *measured* data statistics — per-chunk
+//! non-zero activation counts, weight-chunk outlier multiplicities, zero
+//! fractions, outlier ratios — extracted by running real (synthetic-weight)
+//! networks through the f32 reference and the quantizer calibration.
+//!
+//! Results come back as [`result::LayerRun`] / [`result::NetworkRun`] with
+//! cycles, an energy breakdown and a utilization decomposition, which the
+//! harness turns into the paper's figures.
+
+pub mod policy;
+pub mod result;
+pub mod traffic;
+pub mod workload;
+
+pub use policy::{FirstLayerPolicy, QuantPolicy};
+pub use result::{LayerRun, NetworkRun, Utilization};
+pub use workload::{LayerKind, LayerWorkload, WorkloadSet};

@@ -1,0 +1,512 @@
+//! Layer workload extraction: geometry + measured data statistics.
+//!
+//! A [`LayerWorkload`] is everything an accelerator cycle/energy model needs
+//! to know about one conv/FC layer: shapes and MAC counts, plus the measured
+//! distributions the paper's mechanisms key on — per-chunk non-zero
+//! activation counts (zero skipping, Fig 18/19), weight-chunk outlier
+//! multiplicity (the outlier-MAC mechanism, Fig 17), and outlier activation
+//! ratios (the outlier PE group, Fig 16).
+
+use crate::policy::QuantPolicy;
+use ola_nn::network::WeightStore;
+use ola_nn::{Network, Op, Params};
+use ola_quant::calibrate::{calibrate_values, LayerCalibration};
+use ola_quant::outlier::OutlierQuantizer;
+use ola_tensor::{ChannelChunks, Shape4, Tensor, CHUNK_LANES};
+use serde::{Deserialize, Serialize};
+
+/// Whether a layer is convolutional or fully connected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// 2-D convolution.
+    Conv,
+    /// Fully connected (treated as a 1x1 convolution over a 1x1 input).
+    Fc,
+}
+
+/// Everything the accelerator models need to know about one layer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LayerWorkload {
+    /// Layer name from the network graph.
+    pub name: String,
+    /// Index among compute layers (0 = first conv).
+    pub index: usize,
+    /// Conv or FC.
+    pub kind: LayerKind,
+    /// Input activation shape.
+    pub in_shape: Shape4Ser,
+    /// Output activation shape.
+    pub out_shape: Shape4Ser,
+    /// Kernel side length (1 for FC).
+    pub kernel: usize,
+    /// Exact multiply-accumulate count (padding-aware).
+    pub macs: u64,
+    /// Weight count.
+    pub weight_count: u64,
+    /// Dense weight bits under the policy (4, or 8 for special first layers).
+    pub weight_bits: u32,
+    /// Dense activation bits entering this layer (4, or 8/16 raw input).
+    pub act_bits: u32,
+    /// Fraction of zero weights (pruning).
+    pub weight_zero_fraction: f64,
+    /// Fraction of zero input activations.
+    pub act_zero_fraction: f64,
+    /// Realized outlier fraction over all weights.
+    pub weight_outlier_ratio: f64,
+    /// Outlier ratio among non-zero input activations.
+    pub act_outlier_nonzero_ratio: f64,
+    /// Outlier ratio over all input activations (Fig 16's metric).
+    pub act_effective_outlier_ratio: f64,
+    /// Measured non-zero count of every 16-lane input activation chunk.
+    pub chunk_nnz: Vec<u8>,
+    /// Per chunk, how many of its four 4-lane quads are entirely zero —
+    /// each costs the zero-skip scanner one overhead cycle (§V, Fig 18).
+    pub chunk_zero_quads: Vec<u8>,
+    /// Fraction of 16-lane weight chunks with exactly one outlier.
+    pub wchunk_single_fraction: f64,
+    /// Fraction of 16-lane weight chunks with two or more outliers (these
+    /// cost the extra cycle of §III-D).
+    pub wchunk_multi_fraction: f64,
+    /// Zero fraction of this layer's (post-ReLU, when present) output.
+    pub out_zero_fraction: f64,
+}
+
+/// A `Shape4` mirror that derives serde (kept separate so `ola-tensor` stays
+/// serde-free).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Shape4Ser {
+    /// Batch.
+    pub n: usize,
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl From<Shape4> for Shape4Ser {
+    fn from(s: Shape4) -> Self {
+        Shape4Ser {
+            n: s.n,
+            c: s.c,
+            h: s.h,
+            w: s.w,
+        }
+    }
+}
+
+impl Shape4Ser {
+    /// Total elements.
+    pub fn len(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl LayerWorkload {
+    /// Input channel chunks per spatial position.
+    pub fn cin_chunks(&self) -> u64 {
+        (self.in_shape.c as u64).div_ceil(CHUNK_LANES as u64)
+    }
+
+    /// Output-channel groups of 16.
+    pub fn oc_groups(&self) -> u64 {
+        (self.out_shape.c as u64).div_ceil(CHUNK_LANES as u64)
+    }
+
+    /// Number of PE-group work units: one unit = one activation chunk
+    /// processed against one 16-output-channel weight column at one kernel
+    /// offset. Derived from the exact MAC count so zero-padding at tensor
+    /// edges is respected.
+    pub fn group_units(&self) -> u64 {
+        let per_pair = self.macs as f64 / (self.in_shape.c as f64 * self.out_shape.c as f64);
+        (per_pair * self.cin_chunks() as f64 * self.oc_groups() as f64).round() as u64
+    }
+
+    /// Total input activations.
+    pub fn act_count(&self) -> u64 {
+        self.in_shape.len() as u64
+    }
+
+    /// Total output activations.
+    pub fn out_count(&self) -> u64 {
+        self.out_shape.len() as u64
+    }
+
+    /// Count of outlier input activations.
+    pub fn outlier_act_count(&self) -> u64 {
+        (self.act_effective_outlier_ratio * self.act_count() as f64).round() as u64
+    }
+
+    /// Mean non-zero lanes per activation chunk.
+    pub fn mean_chunk_nnz(&self) -> f64 {
+        if self.chunk_nnz.is_empty() {
+            return 0.0;
+        }
+        self.chunk_nnz.iter().map(|&v| v as f64).sum::<f64>() / self.chunk_nnz.len() as f64
+    }
+
+    /// Whether this layer runs the high-precision first-layer path.
+    pub fn is_first(&self) -> bool {
+        self.index == 0
+    }
+}
+
+/// All compute-layer workloads of one network under one policy.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkloadSet {
+    /// Network name.
+    pub network: String,
+    /// The policy the workloads were extracted under.
+    pub policy: QuantPolicy,
+    /// Per-layer workloads in forward order.
+    pub layers: Vec<LayerWorkload>,
+}
+
+impl WorkloadSet {
+    /// Total MACs.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Conv layers only (the subset Figs 18/19 plot).
+    pub fn conv_layers(&self) -> impl Iterator<Item = &LayerWorkload> {
+        self.layers.iter().filter(|l| l.kind == LayerKind::Conv)
+    }
+}
+
+/// Extracts workloads by running `input` through the network, calibrating
+/// activation outlier thresholds on that same run, and measuring weight /
+/// activation statistics per compute layer.
+pub fn extract(
+    net: &Network,
+    params: &Params,
+    input: &Tensor,
+    policy: &QuantPolicy,
+) -> WorkloadSet {
+    let outs = net.forward(params, input);
+    extract_from_acts(net, params, &outs, policy)
+}
+
+/// Like [`extract`], but reuses an existing forward pass — the expensive
+/// part — so several policies (16-bit and 8-bit modes, outlier-ratio
+/// sweeps) can share it.
+pub fn extract_from_acts(
+    net: &Network,
+    params: &Params,
+    outs: &[Tensor],
+    policy: &QuantPolicy,
+) -> WorkloadSet {
+    let shapes = net.shapes();
+    let compute = net.compute_nodes();
+    let mut layers = Vec::with_capacity(compute.len());
+
+    for (index, &node) in compute.iter().enumerate() {
+        let n = &net.nodes()[node];
+        let src = n.inputs[0];
+        let act = &outs[src];
+        let (kind, kernel, macs, weight_count) = match n.op {
+            Op::Conv(spec) => {
+                let i = act.shape();
+                (
+                    LayerKind::Conv,
+                    spec.geometry.kernel,
+                    spec.macs(i.h, i.w),
+                    spec.weight_count(),
+                )
+            }
+            Op::Linear(spec) => (LayerKind::Fc, 1, spec.macs(), spec.weight_count()),
+            _ => unreachable!("compute_nodes returns only conv/linear"),
+        };
+
+        // --- input activation statistics ---
+        let cal: LayerCalibration = calibrate_values(node, act.as_slice(), policy.outlier_ratio);
+        let mut chunk_nnz = Vec::new();
+        let mut chunk_zero_quads = Vec::new();
+        for c in ChannelChunks::new(act, CHUNK_LANES) {
+            chunk_nnz.push(c.nonzero_count() as u8);
+            let zq = c
+                .values
+                .chunks(4)
+                .filter(|quad| quad.iter().all(|&v| v == 0.0))
+                .count() as u8;
+            chunk_zero_quads.push(zq);
+        }
+
+        // --- weight statistics ---
+        let wstats = weight_chunk_stats(params, node, policy.outlier_ratio);
+
+        // --- output zero fraction: use the post-ReLU view when a ReLU (or
+        //     BN+ReLU chain) directly consumes this node ---
+        let out_zero_fraction = post_activation_zero_fraction(net, outs, node);
+
+        let in_shape: Shape4 = if kind == LayerKind::Fc {
+            // FC consumes a flattened input: model as C = features, 1x1.
+            let s = act.shape();
+            Shape4::new(s.n, s.c * s.h * s.w, 1, 1)
+        } else {
+            act.shape()
+        };
+        let out_shape: Shape4 = shapes[node];
+
+        layers.push(LayerWorkload {
+            name: n.name.clone(),
+            index,
+            kind,
+            in_shape: in_shape.into(),
+            out_shape: out_shape.into(),
+            kernel,
+            macs,
+            weight_count: weight_count as u64,
+            weight_bits: policy.weight_bits(index),
+            act_bits: policy.act_bits(index),
+            weight_zero_fraction: wstats.zero_fraction,
+            act_zero_fraction: cal.zero_fraction,
+            weight_outlier_ratio: wstats.outlier_ratio,
+            act_outlier_nonzero_ratio: cal.nonzero_outlier_ratio,
+            act_effective_outlier_ratio: cal.effective_outlier_ratio,
+            chunk_nnz,
+            chunk_zero_quads,
+            wchunk_single_fraction: wstats.single_fraction,
+            wchunk_multi_fraction: wstats.multi_fraction,
+            out_zero_fraction,
+        });
+    }
+
+    WorkloadSet {
+        network: net.name().to_string(),
+        policy: *policy,
+        layers,
+    }
+}
+
+/// Zero fraction of a node's output after any immediately-following
+/// BatchNorm/ReLU chain (what actually gets written back / consumed).
+fn post_activation_zero_fraction(net: &Network, outs: &[Tensor], node: usize) -> f64 {
+    let mut cur = node;
+    loop {
+        let next = (cur + 1..net.nodes().len()).find(|&i| {
+            net.nodes()[i].inputs.contains(&cur)
+                && matches!(net.nodes()[i].op, Op::ReLU | Op::BatchNorm)
+        });
+        match next {
+            Some(i) => {
+                cur = i;
+                if matches!(net.nodes()[i].op, Op::ReLU) {
+                    return outs[i].zero_fraction();
+                }
+            }
+            None => return outs[cur].zero_fraction(),
+        }
+    }
+}
+
+struct WeightChunkStats {
+    zero_fraction: f64,
+    outlier_ratio: f64,
+    single_fraction: f64,
+    multi_fraction: f64,
+}
+
+/// Measures weight zero fraction, outlier ratio and per-16-lane-chunk
+/// outlier multiplicity. Chunks group 16 *output channels* at a fixed input
+/// channel / kernel offset (§III-B).
+fn weight_chunk_stats(params: &Params, node: usize, ratio: f64) -> WeightChunkStats {
+    match params
+        .weights(node)
+        .expect("compute node must have weights")
+    {
+        WeightStore::Dense(w) => {
+            let values = w.as_slice();
+            let quant = fit_or_none(values, ratio);
+            let s = w.shape();
+            // Conv weights are (Co, Ci, K, K); FC dense weights are
+            // (1, 1, rows=Co, cols=Ci). Normalize to (co, inner).
+            let (co, inner) = if s.n > 1 {
+                (s.n, s.c * s.h * s.w)
+            } else {
+                (s.h, s.w)
+            };
+            chunk_stats_from(values, co, inner, quant.as_ref())
+        }
+        WeightStore::RowGen(g) => {
+            // Sample 64 rows for the fit, then 16-row bands for chunking.
+            let sample = g.sample_values(64);
+            let quant = fit_or_none(&sample, ratio);
+            let rows = g.rows().min(32);
+            let mut values = Vec::with_capacity(rows * g.cols());
+            for r in 0..rows {
+                values.extend(g.row(r));
+            }
+            chunk_stats_from(&values, rows, g.cols(), quant.as_ref())
+        }
+    }
+}
+
+/// Fits the weight outlier quantizer. The paper's weight outlier ratio is a
+/// fraction of *total* weights (zeros included), so the fit over the
+/// non-zero population uses `ratio / (1 - zero_fraction)`.
+fn fit_or_none(values: &[f32], ratio: f64) -> Option<OutlierQuantizer> {
+    if ratio <= 0.0 {
+        return None;
+    }
+    let nonzero: Vec<f32> = values.iter().copied().filter(|&v| v != 0.0).collect();
+    if nonzero.is_empty() {
+        return None;
+    }
+    let nonzero_ratio = (ratio * values.len() as f64 / nonzero.len() as f64).min(1.0);
+    Some(OutlierQuantizer::fit(&nonzero, nonzero_ratio, 4, 8))
+}
+
+fn chunk_stats_from(
+    values: &[f32],
+    co: usize,
+    inner: usize,
+    quant: Option<&OutlierQuantizer>,
+) -> WeightChunkStats {
+    let total = values.len().max(1);
+    let zeros = values.iter().filter(|&&v| v == 0.0).count();
+    let is_outlier = |v: f32| -> bool { v != 0.0 && quant.map(|q| q.is_outlier(v)) == Some(true) };
+    let outliers = values.iter().filter(|&&v| is_outlier(v)).count();
+
+    let mut chunks = 0u64;
+    let mut single = 0u64;
+    let mut multi = 0u64;
+    for co0 in (0..co).step_by(CHUNK_LANES) {
+        let lanes = (co - co0).min(CHUNK_LANES);
+        for i in 0..inner {
+            let mut count = 0u32;
+            for lane in 0..lanes {
+                let v = values[(co0 + lane) * inner + i];
+                if is_outlier(v) {
+                    count += 1;
+                }
+            }
+            chunks += 1;
+            match count {
+                0 => {}
+                1 => single += 1,
+                _ => multi += 1,
+            }
+        }
+    }
+    WeightChunkStats {
+        zero_fraction: zeros as f64 / total as f64,
+        outlier_ratio: outliers as f64 / total as f64,
+        single_fraction: single as f64 / chunks.max(1) as f64,
+        multi_fraction: multi as f64 / chunks.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ola_nn::synth::{synthesize_params, SynthConfig};
+    use ola_nn::zoo::{self, ZooConfig};
+    use ola_tensor::init::uniform_tensor;
+
+    fn alexnet_workloads() -> WorkloadSet {
+        let cfg = ZooConfig {
+            spatial_scale: 8,
+            include_classifier: true,
+            batch: 1,
+        };
+        let net = zoo::alexnet(&cfg);
+        let params = synthesize_params(&net, &SynthConfig::default());
+        let input = uniform_tensor(net.input_shape(), -1.0, 1.0, 9);
+        let policy = QuantPolicy::olaccel16("alexnet");
+        extract(&net, &params, &input, &policy)
+    }
+
+    #[test]
+    fn extracts_all_compute_layers() {
+        let ws = alexnet_workloads();
+        // 5 convs + 3 FCs.
+        assert_eq!(ws.layers.len(), 8);
+        assert_eq!(ws.conv_layers().count(), 5);
+        assert_eq!(ws.layers[0].act_bits, 16);
+        assert_eq!(ws.layers[1].act_bits, 4);
+        assert!(ws.total_macs() > 0);
+    }
+
+    #[test]
+    fn chunk_nnz_consistent_with_zero_fraction() {
+        let ws = alexnet_workloads();
+        for l in &ws.layers {
+            let mean = l.mean_chunk_nnz();
+            // mean nnz / lanes should roughly equal 1 - zero_fraction,
+            // modulo lane padding at the channel tail.
+            let dense = 1.0 - l.act_zero_fraction;
+            let padded_lanes = l.cin_chunks() as f64 * 16.0 / l.in_shape.c as f64;
+            let expect = dense / padded_lanes;
+            assert!(
+                (mean / 16.0 - expect).abs() < 0.08,
+                "layer {}: mean {mean}, zero {}",
+                l.name,
+                l.act_zero_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn group_units_match_macs() {
+        let ws = alexnet_workloads();
+        for l in &ws.layers {
+            // units * 16 lanes * 16 oc ~ macs (exact when C divisible by 16).
+            if l.in_shape.c % 16 == 0 && l.out_shape.c % 16 == 0 {
+                let reconstructed = l.group_units() * 256;
+                assert_eq!(reconstructed, l.macs, "layer {}", l.name);
+            }
+        }
+    }
+
+    #[test]
+    fn outlier_ratios_near_policy_target() {
+        let ws = alexnet_workloads();
+        for l in &ws.layers {
+            assert!(
+                (l.weight_outlier_ratio - 0.035).abs() < 0.02,
+                "layer {} weight ratio {}",
+                l.name,
+                l.weight_outlier_ratio
+            );
+            // Effective activation ratio is at most the non-zero ratio.
+            assert!(l.act_effective_outlier_ratio <= l.act_outlier_nonzero_ratio + 1e-9);
+        }
+    }
+
+    #[test]
+    fn weight_chunk_fractions_sane() {
+        let ws = alexnet_workloads();
+        for l in &ws.layers {
+            assert!(l.wchunk_single_fraction >= 0.0 && l.wchunk_single_fraction <= 1.0);
+            assert!(l.wchunk_multi_fraction >= 0.0 && l.wchunk_multi_fraction <= 1.0);
+            // At ~3.5% outliers on 16 lanes, multi-outlier chunks should be
+            // a minority but present.
+            assert!(l.wchunk_multi_fraction < 0.4, "layer {}", l.name);
+        }
+        // Binomial sanity on a large conv layer: single ~ n*p*(1-p)^15.
+        let l = &ws.layers[2];
+        let p = l.weight_outlier_ratio;
+        let expect_single = 16.0 * p * (1.0 - p).powi(15);
+        assert!(
+            (l.wchunk_single_fraction - expect_single).abs() < 0.1,
+            "single {} vs binomial {expect_single}",
+            l.wchunk_single_fraction
+        );
+    }
+
+    #[test]
+    fn fc_layers_modeled_as_1x1() {
+        let ws = alexnet_workloads();
+        let fc = ws.layers.iter().find(|l| l.kind == LayerKind::Fc).unwrap();
+        assert_eq!(fc.kernel, 1);
+        assert_eq!(fc.in_shape.h, 1);
+        assert_eq!(fc.macs, fc.weight_count);
+    }
+}

@@ -1,0 +1,212 @@
+//! Channel-chunk views over activation tensors.
+//!
+//! OLAccel's PE groups consume activations in chunks of 16 consecutive input
+//! channels at one spatial position — the paper's `A(1x1x16)` unit. This
+//! module provides an iterator that yields those chunks (zero-padded when the
+//! channel count is not a multiple of 16) so the simulators and quantizers
+//! can share one definition of "chunk".
+
+use crate::tensor::Tensor;
+
+/// Number of SIMD lanes in a PE group (= activations per chunk).
+///
+/// The paper fixes this at 16 after the Fig 17 analysis; the simulators allow
+/// overriding it for the PE-group-size ablation, but encoded data structures
+/// use this default.
+pub const CHUNK_LANES: usize = 16;
+
+/// One `A(1x1xL)` activation chunk: `lanes` channel values at spatial
+/// position `(h, w)` of batch image `n`, starting at channel `c0`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Chunk {
+    /// Batch index.
+    pub n: usize,
+    /// First channel covered by this chunk.
+    pub c0: usize,
+    /// Spatial row.
+    pub h: usize,
+    /// Spatial column.
+    pub w: usize,
+    /// The values; length equals the iterator's `lanes`, zero-padded past the
+    /// last real channel.
+    pub values: Vec<f32>,
+}
+
+impl Chunk {
+    /// Number of non-zero lanes.
+    pub fn nonzero_count(&self) -> usize {
+        self.values.iter().filter(|&&v| v != 0.0).count()
+    }
+}
+
+/// Iterator over the channel chunks of an activation tensor.
+///
+/// Iterates spatial positions in row-major order; for each position yields
+/// `ceil(C / lanes)` chunks covering the channel dimension.
+///
+/// # Example
+///
+/// ```
+/// use ola_tensor::{ChannelChunks, Shape4, Tensor};
+///
+/// let t = Tensor::zeros(Shape4::new(1, 20, 2, 2));
+/// let chunks: Vec<_> = ChannelChunks::new(&t, 16).collect();
+/// // 2x2 spatial positions x ceil(20/16)=2 chunks each.
+/// assert_eq!(chunks.len(), 8);
+/// assert_eq!(chunks[0].values.len(), 16);
+/// ```
+#[derive(Debug)]
+pub struct ChannelChunks<'a> {
+    tensor: &'a Tensor,
+    lanes: usize,
+    chunks_per_pos: usize,
+    /// Next flat chunk index (over n, h, w, chunk-of-c).
+    next: usize,
+    total: usize,
+}
+
+impl<'a> ChannelChunks<'a> {
+    /// Creates a chunk iterator with the given lane count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(tensor: &'a Tensor, lanes: usize) -> Self {
+        assert!(lanes > 0, "lanes must be positive");
+        let s = tensor.shape();
+        let chunks_per_pos = s.c.div_ceil(lanes);
+        let total = s.n * s.spatial() * chunks_per_pos;
+        ChannelChunks {
+            tensor,
+            lanes,
+            chunks_per_pos,
+            next: 0,
+            total,
+        }
+    }
+
+    /// Total number of chunks this iterator will yield.
+    pub fn total_chunks(&self) -> usize {
+        self.total
+    }
+}
+
+impl Iterator for ChannelChunks<'_> {
+    type Item = Chunk;
+
+    fn next(&mut self) -> Option<Chunk> {
+        if self.next >= self.total {
+            return None;
+        }
+        let s = self.tensor.shape();
+        let idx = self.next;
+        self.next += 1;
+
+        let ci = idx % self.chunks_per_pos;
+        let pos = idx / self.chunks_per_pos;
+        let w = pos % s.w;
+        let h = (pos / s.w) % s.h;
+        let n = pos / (s.w * s.h);
+        let c0 = ci * self.lanes;
+
+        let mut values = vec![0.0; self.lanes];
+        for (lane, v) in values.iter_mut().enumerate() {
+            let c = c0 + lane;
+            if c < s.c {
+                *v = self.tensor.get(n, c, h, w);
+            }
+        }
+        Some(Chunk {
+            n,
+            c0,
+            h,
+            w,
+            values,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.total - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for ChannelChunks<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape4;
+
+    #[test]
+    fn chunk_count_and_padding() {
+        let t = Tensor::zeros(Shape4::new(2, 5, 3, 3));
+        let it = ChannelChunks::new(&t, 4);
+        assert_eq!(it.total_chunks(), 2 * 9 * 2);
+        let chunks: Vec<_> = it.collect();
+        assert_eq!(chunks.len(), 36);
+        // Second chunk of each position covers channels 4..8, only c=4 real.
+        assert_eq!(chunks[1].c0, 4);
+        assert_eq!(chunks[1].values.len(), 4);
+    }
+
+    #[test]
+    fn chunk_values_match_tensor() {
+        let mut t = Tensor::zeros(Shape4::new(1, 6, 1, 1));
+        for c in 0..6 {
+            t.set(0, c, 0, 0, c as f32 + 1.0);
+        }
+        let chunks: Vec<_> = ChannelChunks::new(&t, 4).collect();
+        assert_eq!(chunks[0].values, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(chunks[1].values, vec![5.0, 6.0, 0.0, 0.0]);
+        assert_eq!(chunks[1].nonzero_count(), 2);
+    }
+
+    #[test]
+    fn exact_size_iterator_contract() {
+        let t = Tensor::zeros(Shape4::new(1, 16, 2, 2));
+        let mut it = ChannelChunks::new(&t, 16);
+        assert_eq!(it.len(), 4);
+        it.next();
+        assert_eq!(it.len(), 3);
+    }
+
+    #[test]
+    fn lanes_wider_than_channels() {
+        let mut t = Tensor::zeros(Shape4::new(1, 3, 1, 1));
+        t.set(0, 2, 0, 0, 5.0);
+        let chunks: Vec<_> = ChannelChunks::new(&t, 16).collect();
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].values.len(), 16);
+        assert_eq!(chunks[0].nonzero_count(), 1);
+        assert_eq!(chunks[0].values[2], 5.0);
+        assert!(chunks[0].values[3..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn chunk_coordinates_are_consistent() {
+        let t = Tensor::zeros(Shape4::new(2, 4, 2, 3));
+        let chunks: Vec<_> = ChannelChunks::new(&t, 4).collect();
+        // One chunk per (n, h, w) position.
+        assert_eq!(chunks.len(), 2 * 2 * 3);
+        let last = chunks.last().unwrap();
+        assert_eq!((last.n, last.h, last.w, last.c0), (1, 1, 2, 0));
+    }
+
+    #[test]
+    fn batch_dimension_iterated() {
+        let mut t = Tensor::zeros(Shape4::new(2, 16, 1, 1));
+        t.set(1, 0, 0, 0, 1.0);
+        let chunks: Vec<_> = ChannelChunks::new(&t, 16).collect();
+        assert_eq!(chunks[0].nonzero_count(), 0);
+        assert_eq!(chunks[1].nonzero_count(), 1);
+        assert_eq!(chunks[1].n, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lanes must be positive")]
+    fn zero_lanes_panics() {
+        let t = Tensor::zeros(Shape4::new(1, 1, 1, 1));
+        let _ = ChannelChunks::new(&t, 0);
+    }
+}

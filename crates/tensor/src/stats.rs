@@ -1,0 +1,176 @@
+//! Distribution statistics: histograms and percentiles.
+//!
+//! Used for Fig 1 (weight distributions), activation threshold calibration
+//! (the per-layer outlier thresholds of §II), and Fig 16 (effective outlier
+//! ratio histogram).
+
+/// A fixed-bin histogram over a symmetric or one-sided value range.
+///
+/// # Example
+///
+/// ```
+/// use ola_tensor::stats::Histogram;
+///
+/// let mut h = Histogram::new(-1.0, 1.0, 4);
+/// h.extend([-0.9, -0.1, 0.1, 0.9, 2.0].iter().copied());
+/// assert_eq!(h.counts(), &[1, 1, 1, 2]); // 2.0 clamps into the last bin
+/// assert_eq!(h.total(), 5);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi]` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "lo must be less than hi");
+        assert!(bins > 0, "bins must be positive");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Adds one sample; values outside the range clamp into the edge bins.
+    pub fn add(&mut self, v: f32) {
+        let bins = self.counts.len();
+        let t = ((v as f64 - self.lo) / (self.hi - self.lo) * bins as f64).floor();
+        let i = (t.max(0.0) as usize).min(bins - 1);
+        self.counts[i] += 1;
+    }
+
+    /// Adds many samples.
+    pub fn extend<I: IntoIterator<Item = f32>>(&mut self, values: I) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Center value of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len());
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + width * (i as f64 + 0.5)
+    }
+
+    /// Normalized bin heights (sum to 1.0); all zeros if empty.
+    pub fn normalized(&self) -> Vec<f64> {
+        let total = self.total() as f64;
+        if total == 0.0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / total).collect()
+    }
+}
+
+/// Returns the magnitude threshold above which exactly the top `ratio`
+/// fraction of values (by absolute value) fall.
+///
+/// This is the paper's per-layer outlier threshold: values with
+/// `|v| > threshold` are outliers. `ratio = 0` returns `f32::INFINITY`
+/// (nothing is an outlier); `ratio = 1` returns 0 before any positive value.
+///
+/// # Panics
+///
+/// Panics if `ratio` is outside `[0, 1]`.
+pub fn magnitude_threshold(values: &[f32], ratio: f64) -> f32 {
+    assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0,1]");
+    if ratio == 0.0 || values.is_empty() {
+        return f32::INFINITY;
+    }
+    let mut mags: Vec<f32> = values.iter().map(|v| v.abs()).collect();
+    mags.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let k = ((values.len() as f64 * ratio).ceil() as usize).clamp(1, values.len());
+    // Threshold sits at the k-th largest magnitude: values strictly greater
+    // than the (k+1)-th are the top-k set; use the k-th value as inclusive
+    // boundary so that exactly ~k values satisfy |v| >= threshold.
+    mags[k - 1]
+}
+
+/// Percentile (0..=100) of the absolute values, by nearest-rank.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `pct` is outside `[0, 100]`.
+pub fn abs_percentile(values: &[f32], pct: f64) -> f32 {
+    assert!(!values.is_empty(), "values must be non-empty");
+    assert!((0.0..=100.0).contains(&pct), "pct must be in [0,100]");
+    let mut mags: Vec<f32> = values.iter().map(|v| v.abs()).collect();
+    mags.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((pct / 100.0) * (mags.len() - 1) as f64).round() as usize;
+    mags[rank]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.extend([0.5, 1.5, 9.5, 10.5, -1.0].iter().copied());
+        assert_eq!(h.counts()[0], 2); // 0.5 and clamped -1.0
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[9], 2); // 9.5 and clamped 10.5
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert!((h.bin_center(0) - 0.125).abs() < 1e-12);
+        assert!((h.bin_center(3) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_sums_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 3);
+        h.extend([0.1, 0.5, 0.9, 0.95].iter().copied());
+        let n = h.normalized();
+        assert!((n.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn magnitude_threshold_top_fraction() {
+        let values: Vec<f32> = (1..=100).map(|i| i as f32).collect();
+        let t = magnitude_threshold(&values, 0.03);
+        // Top 3 values are 98, 99, 100; threshold = 98.
+        assert_eq!(t, 98.0);
+        assert_eq!(values.iter().filter(|v| v.abs() >= t).count(), 3);
+    }
+
+    #[test]
+    fn magnitude_threshold_zero_ratio_is_infinite() {
+        assert_eq!(magnitude_threshold(&[1.0, 2.0], 0.0), f32::INFINITY);
+    }
+
+    #[test]
+    fn abs_percentile_nearest_rank() {
+        let values = [1.0_f32, -2.0, 3.0, -4.0, 5.0];
+        assert_eq!(abs_percentile(&values, 0.0), 1.0);
+        assert_eq!(abs_percentile(&values, 100.0), 5.0);
+        assert_eq!(abs_percentile(&values, 50.0), 3.0);
+    }
+}

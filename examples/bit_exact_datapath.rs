@@ -1,0 +1,71 @@
+//! Run a convolution end to end through the bit-exact OLAccel datapath:
+//! outlier-aware quantization onto aligned grids, 80-bit weight-chunk
+//! packing, 16+1-MAC broadcasts with zero skipping — and verify the output
+//! feature map against the f32 reference while counting real cycles.
+//!
+//! Run with: `cargo run --release -p ola-examples --bin bit_exact_datapath`
+
+use ola_core::functional::{execute, quantize_acts, PackedConv};
+use ola_nn::network::conv2d;
+use ola_tensor::init::{heavy_tailed_tensor, HeavyTailed};
+use ola_tensor::{Shape4, Tensor};
+
+fn main() {
+    // Heavy-tailed weights and post-ReLU-like activations.
+    let weights = heavy_tailed_tensor(Shape4::new(64, 32, 3, 3), HeavyTailed::default(), 11);
+    let mut acts = heavy_tailed_tensor(Shape4::new(1, 32, 14, 14), HeavyTailed::default(), 12);
+    acts.map_inplace(|v| if v < 0.0 { 0.0 } else { v * 8.0 });
+
+    println!("packing 64x32x3x3 weights into 80-bit chunks (3% outliers)...");
+    let (packed, wq) = PackedConv::pack(&weights, 0.03, 1, 1);
+    println!(
+        "  weight threshold {:.4}; {:.1}% of chunks need the two-cycle path",
+        wq.threshold(),
+        packed.multi_outlier_fraction() * 100.0
+    );
+
+    let qa = quantize_acts(&acts, 0.03);
+    let outliers = qa.outlier.iter().filter(|&&o| o).count();
+    println!(
+        "quantized {} activations: {:.1}% zero, {} outliers",
+        qa.levels.len(),
+        qa.levels.iter().filter(|&&l| l == 0).count() as f64 / qa.levels.len() as f64 * 100.0,
+        outliers
+    );
+
+    println!("\nexecuting through the 16+1-MAC PE-group datapath...");
+    let (out, stats) = execute(&packed, &qa);
+    println!("  run cycles (broadcasts):   {}", stats.run_cycles);
+    println!("  skip cycles (zero quads):  {}", stats.skip_cycles);
+    println!("  outlier-act broadcasts:    {}", stats.outlier_broadcasts);
+
+    // Verify against the f32 reference of the fake-quantized operands.
+    let mut wf = weights.clone();
+    wf.map_inplace(|v| {
+        if v == 0.0 {
+            0.0
+        } else if wq.is_outlier(v) {
+            wq.high().dequantize(wq.high().quantize(v))
+        } else {
+            wq.low().dequantize(wq.low().quantize(v))
+        }
+    });
+    let mut af = acts.clone();
+    {
+        let data = af.as_mut_slice();
+        for (v, &level) in data.iter_mut().zip(&qa.levels) {
+            *v = level as f32 * qa.scale;
+        }
+    }
+    let reference: Tensor = conv2d(&af, &wf, None, 1, 1);
+    let max_err = out
+        .iter()
+        .zip(reference.iter())
+        .map(|(&a, &b)| (a - b).abs())
+        .fold(0.0_f32, f32::max);
+    let scale = reference.abs_max();
+    println!(
+        "\nmax |datapath - f32 reference| = {max_err:.2e} (output magnitude {scale:.2}) — \
+         the integer pipeline is exact up to f32 summation order."
+    );
+}

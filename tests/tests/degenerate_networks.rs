@@ -1,0 +1,106 @@
+//! Robustness tests: the whole pipeline (synthesis -> forward -> workload
+//! extraction -> all three accelerator models) must survive degenerate
+//! network shapes — single channels, non-multiple-of-16 channels, huge
+//! kernels, tiny feature maps — without panicking or producing nonsense.
+
+use ola_baselines::{EyerissSim, ZenaSim};
+use ola_core::OlAccelSim;
+use ola_energy::config::MemoryConfig;
+use ola_energy::{ComparisonMode, TechParams};
+use ola_nn::synth::{synthesize_params, SynthConfig};
+use ola_nn::{Conv2dSpec, LinearSpec, Network, Op};
+use ola_sim::workload::extract;
+use ola_sim::QuantPolicy;
+use ola_tensor::init::uniform_tensor;
+use ola_tensor::{ConvGeometry, Shape4};
+
+fn run_all(net: &Network) {
+    let params = synthesize_params(net, &SynthConfig::default());
+    let input = uniform_tensor(net.input_shape(), -1.0, 1.0, 99);
+    let policy = QuantPolicy::olaccel16("degenerate");
+    let ws = extract(net, &params, &input, &policy);
+    let tech = TechParams::default();
+    let mem = MemoryConfig::for_network("degenerate", ComparisonMode::Bits16);
+    for l in &ws.layers {
+        let e = EyerissSim::new(tech, ComparisonMode::Bits16).simulate_layer(l, &mem);
+        let z = ZenaSim::new(tech, ComparisonMode::Bits16).simulate_layer(l, &mem);
+        let o = OlAccelSim::new(tech, ComparisonMode::Bits16).simulate_layer(l, &mem);
+        for (label, r) in [("eyeriss", &e), ("zena", &z), ("olaccel", &o)] {
+            assert!(r.cycles > 0, "{label} {} produced zero cycles", l.name);
+            assert!(
+                r.energy.total() > 0.0,
+                "{label} {} produced zero energy",
+                l.name
+            );
+            assert!(
+                r.energy.total().is_finite(),
+                "{label} {} non-finite energy",
+                l.name
+            );
+        }
+    }
+}
+
+#[test]
+fn single_channel_conv() {
+    let mut net = Network::new("degenerate", Shape4::new(1, 1, 8, 8));
+    net.add(
+        "conv",
+        Op::Conv(Conv2dSpec::new(1, 1, ConvGeometry::new(3, 1, 1))),
+        &[0],
+    );
+    run_all(&net);
+}
+
+#[test]
+fn channels_not_multiple_of_16() {
+    let mut net = Network::new("degenerate", Shape4::new(1, 17, 6, 6));
+    let c = net.add(
+        "conv",
+        Op::Conv(Conv2dSpec::new(17, 23, ConvGeometry::new(3, 1, 1))),
+        &[0],
+    );
+    let r = net.add("relu", Op::ReLU, &[c]);
+    net.add(
+        "conv2",
+        Op::Conv(Conv2dSpec::new(23, 5, ConvGeometry::new(1, 1, 0))),
+        &[r],
+    );
+    run_all(&net);
+}
+
+#[test]
+fn kernel_as_big_as_input() {
+    let mut net = Network::new("degenerate", Shape4::new(1, 4, 5, 5));
+    net.add(
+        "conv",
+        Op::Conv(Conv2dSpec::new(4, 8, ConvGeometry::new(5, 1, 0))),
+        &[0],
+    );
+    run_all(&net);
+}
+
+#[test]
+fn one_by_one_feature_map_fc() {
+    let mut net = Network::new("degenerate", Shape4::new(1, 32, 1, 1));
+    let r = net.add("relu", Op::ReLU, &[0]);
+    net.add("fc", Op::Linear(LinearSpec::new(32, 7)), &[r]);
+    run_all(&net);
+}
+
+#[test]
+fn strided_downsampling_chain() {
+    let mut net = Network::new("degenerate", Shape4::new(1, 3, 16, 16));
+    let mut prev = 0;
+    let mut ch = 3;
+    for (i, s) in [2usize, 2, 2].iter().enumerate() {
+        let c = net.add(
+            format!("conv{i}"),
+            Op::Conv(Conv2dSpec::new(ch, ch * 2, ConvGeometry::new(3, *s, 1))),
+            &[prev],
+        );
+        prev = net.add(format!("relu{i}"), Op::ReLU, &[c]);
+        ch *= 2;
+    }
+    run_all(&net);
+}

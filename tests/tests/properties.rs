@@ -1,0 +1,151 @@
+//! Cross-crate property-based tests (proptest) on the reproduction's core
+//! invariants: quantizer error bounds, chunk-encoding round trips,
+//! dispatch-model agreement, and energy monotonicity.
+
+use ola_core::cost::{chunk_cost, expected_zero_windows, precision_passes};
+use ola_core::dispatch::{makespan_analytic, makespan_exact};
+use ola_energy::mac::mac_energy;
+use ola_energy::sram::Sram;
+use ola_energy::TechParams;
+use ola_quant::chunks::{decode_buffer, encode_buffer, multi_outlier_probability, QuantizedWeight};
+use ola_quant::linear::LinearQuantizer;
+use ola_quant::metrics::mse;
+use ola_quant::outlier::OutlierQuantizer;
+use proptest::prelude::*;
+
+fn nonzero_values() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, 32..256)
+        .prop_filter("needs a non-zero", |v| v.iter().any(|&x| x.abs() > 1e-3))
+}
+
+proptest! {
+    #[test]
+    fn linear_quantization_error_within_half_step(values in nonzero_values()) {
+        let q = LinearQuantizer::fit_symmetric(8, &values).unwrap();
+        for &v in &values {
+            let r = q.fake_quantize_value(v);
+            prop_assert!((r - v).abs() <= q.scale() / 2.0 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn outlier_aware_tracks_or_beats_linear(values in nonzero_values(), ratio in 0.01f64..0.2) {
+        // Pointwise the two grids can differ by rounding luck on small
+        // populations, so the bound is loose here; the decisive advantage on
+        // heavy-tailed data is asserted deterministically in
+        // `outlier_aware_wins_on_heavy_tails` below.
+        let lin = LinearQuantizer::fit_symmetric(4, &values).unwrap();
+        let ola = OutlierQuantizer::fit(&values, ratio, 4, 16);
+        let e_lin = mse(&values, &lin.fake_quantize(&values));
+        let e_ola = mse(&values, &ola.fake_quantize(&values));
+        prop_assert!(e_ola <= e_lin * 2.0 + 1e-9, "ola {e_ola} vs lin {e_lin}");
+    }
+
+    #[test]
+    fn outlier_quantize_dequantize_structure(values in nonzero_values(), ratio in 0.0f64..0.3) {
+        let q = OutlierQuantizer::fit(&values, ratio, 4, 16);
+        let encoded = q.quantize(&values);
+        prop_assert_eq!(encoded.levels.len(), values.len());
+        let decoded = q.dequantize(&encoded);
+        prop_assert_eq!(decoded.len(), values.len());
+        // Outlier indices are sorted and unique.
+        for w in encoded.outliers.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn weight_chunk_buffer_round_trip(
+        levels in prop::collection::vec((-127i32..=127, prop::bool::ANY), 1..200)
+    ) {
+        let weights: Vec<QuantizedWeight> = levels
+            .into_iter()
+            .map(|(level, big)| {
+                if big && level.abs() > 7 {
+                    QuantizedWeight::outlier(level)
+                } else {
+                    QuantizedWeight::normal(level.clamp(-7, 7))
+                }
+            })
+            .collect();
+        let chunks = encode_buffer(&weights);
+        let decoded = decode_buffer(&chunks, weights.len());
+        prop_assert_eq!(decoded, weights);
+    }
+
+    #[test]
+    fn dispatch_analytic_bounds_exact(
+        jobs in prop::collection::vec(0u64..40, 1..400),
+        groups in 1usize..64
+    ) {
+        let exact = makespan_exact(&jobs, groups);
+        let total: u64 = jobs.iter().sum();
+        let max = *jobs.iter().max().unwrap();
+        let approx = makespan_analytic(total as f64, max as f64, groups);
+        // Analytic is >= the exact greedy result minus rounding, and within
+        // one max-job of it.
+        prop_assert!(approx + 1.0 >= exact as f64);
+        prop_assert!(approx <= exact as f64 + max as f64 + 1.0);
+    }
+
+    #[test]
+    fn chunk_cost_monotone_in_nonzeros(nnz in 0u32..16, passes in 1u32..8) {
+        let a = chunk_cost(nnz, 0, passes, 0.0);
+        let b = chunk_cost(nnz + 1, 0, passes, 0.0);
+        prop_assert!(b.run > a.run);
+    }
+
+    #[test]
+    fn precision_passes_multiplicative(act in 1u32..17, w in 1u32..9) {
+        let p = precision_passes(act, w);
+        prop_assert_eq!(p, act.div_ceil(4) * w.div_ceil(4));
+        prop_assert!(p >= 1);
+    }
+
+    #[test]
+    fn mac_energy_monotone_in_bits(b1 in 1u32..16, b2 in 1u32..16) {
+        let t = TechParams::default();
+        let (lo, hi) = (b1.min(b2), b1.max(b2));
+        prop_assert!(mac_energy(&t, lo, lo, 24) <= mac_energy(&t, hi, hi, 24));
+    }
+
+    #[test]
+    fn sram_energy_monotone_in_capacity(c1 in 1u64..1_000_000, c2 in 1u64..1_000_000) {
+        let t = TechParams::default();
+        let (lo, hi) = (c1.min(c2), c1.max(c2));
+        prop_assert!(
+            Sram::new(&t, lo).energy_per_bit() <= Sram::new(&t, hi).energy_per_bit()
+        );
+    }
+
+    #[test]
+    fn multi_outlier_probability_monotone(ratio in 0.0f64..0.2, lanes in 2usize..128) {
+        let p = multi_outlier_probability(lanes, ratio);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(multi_outlier_probability(lanes + 1, ratio) >= p - 1e-12);
+        prop_assert!(multi_outlier_probability(lanes, (ratio + 0.01).min(1.0)) >= p - 1e-12);
+    }
+
+    #[test]
+    fn expected_zero_windows_bounds(nnz in 0usize..17, w in 1usize..5) {
+        let e = expected_zero_windows(16, nnz, w * 2); // w in {2,4,6,8}
+        prop_assert!(e >= 0.0);
+        prop_assert!(e <= (16 / (w * 2)) as f64);
+    }
+}
+
+#[test]
+fn outlier_aware_wins_on_heavy_tails() {
+    use ola_tensor::init::{heavy_tailed_tensor, HeavyTailed};
+    use ola_tensor::Shape4;
+    let values =
+        heavy_tailed_tensor(Shape4::new(1, 1, 100, 200), HeavyTailed::default(), 5).into_vec();
+    let lin = LinearQuantizer::fit_symmetric(4, &values).unwrap();
+    let ola = OutlierQuantizer::fit(&values, 0.03, 4, 16);
+    let e_lin = mse(&values, &lin.fake_quantize(&values));
+    let e_ola = mse(&values, &ola.fake_quantize(&values));
+    assert!(
+        e_ola < e_lin / 4.0,
+        "ola {e_ola} should beat lin {e_lin} by >4x"
+    );
+}

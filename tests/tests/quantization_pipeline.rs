@@ -1,0 +1,113 @@
+//! Integration of the quantization pipeline: calibrate on a network, build
+//! the hardware encodings, verify the numerical path end to end.
+
+use ola_nn::synth::{synthesize_params, weight_values, SynthConfig};
+use ola_nn::zoo::{self, ZooConfig};
+use ola_quant::calibrate::calibrate_activations;
+use ola_quant::chunks::{decode_buffer, encode_buffer, QuantizedWeight, CHUNK_WEIGHTS};
+use ola_quant::metrics::sqnr_db;
+use ola_quant::outlier::OutlierQuantizer;
+use ola_tensor::init::uniform_tensor;
+
+#[test]
+fn calibrated_quantizers_hit_target_ratio() {
+    let cfg = ZooConfig {
+        spatial_scale: 8,
+        include_classifier: false,
+        batch: 1,
+    };
+    let net = zoo::alexnet(&cfg);
+    let params = synthesize_params(&net, &SynthConfig::for_network("alexnet"));
+    let samples: Vec<_> = (0..2)
+        .map(|i| uniform_tensor(net.input_shape(), -1.0, 1.0, 200 + i))
+        .collect();
+    let cals = calibrate_activations(&net, &params, &samples, 0.03);
+    for cal in &cals {
+        // Nonzero ratio should be near target; effective at or below it.
+        assert!(
+            (cal.nonzero_outlier_ratio - 0.03).abs() < 0.015,
+            "nonzero ratio {}",
+            cal.nonzero_outlier_ratio
+        );
+        assert!(cal.effective_outlier_ratio <= cal.nonzero_outlier_ratio + 1e-9);
+    }
+}
+
+#[test]
+fn full_weight_path_roundtrip_preserves_fidelity() {
+    // Take real (synthetic-trained-like) conv weights, quantize outlier-
+    // aware, encode to hardware chunks, decode, dequantize, and check the
+    // result matches the direct fake-quantization to the quantizer's own
+    // resolution.
+    let cfg = ZooConfig {
+        spatial_scale: 8,
+        include_classifier: false,
+        batch: 1,
+    };
+    let net = zoo::alexnet(&cfg);
+    let params = synthesize_params(&net, &SynthConfig::for_network("alexnet"));
+    let conv2 = net.nodes().iter().position(|n| n.name == "conv2").unwrap();
+    let weights: Vec<f32> = weight_values(&params, conv2)
+        .into_iter()
+        .take(4096)
+        .collect();
+    let nonzero: Vec<f32> = weights.iter().copied().filter(|&v| v != 0.0).collect();
+
+    let quant = OutlierQuantizer::fit(&nonzero, 0.035, 4, 8);
+    let encoded = quant.quantize(&nonzero);
+
+    // Pack into hardware chunks.
+    let mut hw: Vec<QuantizedWeight> = encoded
+        .levels
+        .iter()
+        .map(|&l| QuantizedWeight::normal(l))
+        .collect();
+    for &(i, level) in &encoded.outliers {
+        hw[i] = QuantizedWeight::outlier(level);
+    }
+    let chunks = encode_buffer(&hw);
+    assert!(chunks.len() >= nonzero.len().div_ceil(CHUNK_WEIGHTS));
+
+    // Decode and compare values.
+    let decoded = decode_buffer(&chunks, nonzero.len());
+    assert_eq!(decoded, hw, "hardware chunk round trip must be lossless");
+
+    // Reconstructed reals track the originals well (fine grid on the bulk).
+    let restored: Vec<f32> = decoded
+        .iter()
+        .map(|w| {
+            if w.outlier {
+                quant.high().dequantize(w.level)
+            } else {
+                quant.low().dequantize(w.level)
+            }
+        })
+        .collect();
+    let sqnr = sqnr_db(&nonzero, &restored);
+    assert!(sqnr > 15.0, "end-to-end SQNR only {sqnr} dB");
+}
+
+#[test]
+fn vgg_and_resnet_quantize_cleanly() {
+    for name in ["vgg16", "resnet18"] {
+        let cfg = ZooConfig {
+            spatial_scale: 8,
+            include_classifier: false,
+            batch: 1,
+        };
+        let net = zoo::by_name(name, &cfg);
+        let params = synthesize_params(&net, &SynthConfig::for_network(name));
+        for &node in net.compute_nodes().iter().take(4) {
+            let w: Vec<f32> = weight_values(&params, node)
+                .into_iter()
+                .filter(|&v| v != 0.0)
+                .collect();
+            if w.is_empty() {
+                continue;
+            }
+            let q = OutlierQuantizer::fit(&w, 0.03, 4, 8);
+            let restored = q.fake_quantize(&w);
+            assert!(sqnr_db(&w, &restored) > 12.0, "{name} node {node}");
+        }
+    }
+}
