@@ -1,11 +1,10 @@
 //! Energy accounting in the paper's four buckets.
 
-use serde::{Deserialize, Serialize};
 use std::iter::Sum;
 use std::ops::{Add, AddAssign};
 
 /// Energy decomposed the way Figs 11-13 plot it, in picojoules.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// Off-chip DRAM traffic.
     pub dram: f64,

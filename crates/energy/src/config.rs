@@ -10,10 +10,9 @@
 
 use crate::mac::{eyeriss_pe_area, mac_area, olaccel_mac_area, zena_pe_area};
 use crate::params::TechParams;
-use serde::{Deserialize, Serialize};
 
 /// Which precision comparison a configuration belongs to (§IV).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ComparisonMode {
     /// 16-bit baselines; OLAccel uses 16-bit outlier activations.
     Bits16,
@@ -32,7 +31,7 @@ impl ComparisonMode {
 }
 
 /// The accelerator being configured.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AcceleratorKind {
     /// Eyeriss: dense schedule, zero-gating.
     Eyeriss,
@@ -48,7 +47,7 @@ pub const GROUP_LANES: usize = 16;
 pub const GROUPS_PER_CLUSTER: usize = 6;
 
 /// A concrete accelerator configuration for one comparison mode.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AcceleratorConfig {
     /// Which accelerator.
     pub kind: AcceleratorKind,
@@ -128,7 +127,7 @@ pub fn olaccel_area(tech: &TechParams, clusters: usize, mode: ComparisonMode) ->
 
 /// On-chip memory sizing (Table I): activation and weight buffer capacities
 /// in bits for a network/mode, identical across the three accelerators.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MemoryConfig {
     /// Activation buffer capacity, bits.
     pub act_bits: u64,
@@ -162,7 +161,7 @@ impl MemoryConfig {
 }
 
 /// One row of Table I, for pretty-printing by the harness.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Table1Row {
     /// Accelerator name (e.g. "Eyeriss").
     pub name: String,

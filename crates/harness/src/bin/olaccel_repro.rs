@@ -1,37 +1,63 @@
 //! CLI entry point for regenerating the paper's tables and figures.
 //!
 //! ```text
-//! olaccel-repro [EXPERIMENT]... [--fast] [--out DIR]
+//! olaccel-repro [EXPERIMENT]... [--fast] [--jobs N] [--out DIR]
 //!
 //! EXPERIMENT  fig1 fig2 fig3 table1 fig11 fig12 fig13 fig14 fig15 fig16
 //!             fig17 fig18 fig19 validate extra-resnet101 extra-densenet121
 //!             all (default)
 //! --fast      reduced spatial scale / training budget (CI-friendly)
+//! --jobs N    worker threads (default: available parallelism; 1 = serial)
 //! --out DIR   additionally write each report to DIR/<experiment>.txt
 //! ```
+//!
+//! Experiments run concurrently on a work queue; reports stream to stdout
+//! in the order requested and are byte-identical at any `--jobs` value
+//! (preparation is seeded and shared through a process-wide cache). The
+//! run summary — per-experiment wall time and cache hit/miss counters —
+//! goes to stderr so stdout stays stable enough to diff.
 
 use std::fs;
 use std::path::PathBuf;
+use std::process::exit;
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: olaccel-repro [EXPERIMENT]... [--fast] [--jobs N] [--out DIR]");
+    exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
-    let out_dir: Option<PathBuf> = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from);
+    let mut out_dir: Option<PathBuf> = None;
+    let mut jobs: Option<usize> = None;
     let mut names: Vec<&str> = Vec::new();
-    let mut skip_next = false;
-    for a in &args {
-        if skip_next {
-            skip_next = false;
-            continue;
-        }
-        if a == "--out" {
-            skip_next = true;
-        } else if !a.starts_with("--") {
-            names.push(a.as_str());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fast" => {}
+            "--out" => {
+                let dir = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--out needs a directory"));
+                out_dir = Some(PathBuf::from(dir));
+            }
+            "--jobs" => {
+                let n = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--jobs needs a count"));
+                match n.parse::<usize>() {
+                    Ok(n) if n > 0 => jobs = Some(n),
+                    _ => usage_error("--jobs needs a positive integer"),
+                }
+            }
+            a if a.starts_with("--jobs=") => match a["--jobs=".len()..].parse::<usize>() {
+                Ok(n) if n > 0 => jobs = Some(n),
+                _ => usage_error("--jobs needs a positive integer"),
+            },
+            a if a.starts_with("--") => usage_error(&format!("unknown flag {a}")),
+            _ => names.push(a.as_str()),
         }
     }
     let names: Vec<&str> = if names.is_empty() || names.contains(&"all") {
@@ -39,14 +65,27 @@ fn main() {
     } else {
         names
     };
+    if let Some(bad) = names
+        .iter()
+        .find(|n| !ola_harness::engine::is_known_experiment(n))
+    {
+        usage_error(&format!(
+            "unknown experiment {bad}; known: {}",
+            ola_harness::EXPERIMENTS.join(" ")
+        ));
+    }
     if let Some(dir) = &out_dir {
         fs::create_dir_all(dir).expect("create output directory");
     }
-    for name in names {
-        let report = ola_harness::run_experiment(name, fast);
-        println!("{report}");
-        if let Some(dir) = &out_dir {
-            fs::write(dir.join(format!("{name}.txt")), &report).expect("write report");
+    let jobs = jobs.unwrap_or_else(ola_harness::engine::default_jobs);
+
+    let result = ola_harness::engine::run_suite(&names, fast, jobs, |outcome| {
+        if let Ok(report) = &outcome.report {
+            println!("{report}");
+            if let Some(dir) = &out_dir {
+                fs::write(dir.join(format!("{}.txt", outcome.name)), report).expect("write report");
+            }
         }
-    }
+    });
+    eprint!("{}", result.summary());
 }

@@ -1,0 +1,246 @@
+//! Parallel experiment engine: a work-queue executor over the experiment
+//! list.
+//!
+//! Experiments are independent — every one seeds its own RNG streams and
+//! shares read-only state through [`crate::prep::PrepCache`] — so the suite
+//! is an embarrassingly parallel job set. The engine runs `jobs` worker
+//! threads (std [`std::thread::scope`], no external dependencies) over a
+//! shared atomic cursor, while the calling thread emits finished reports
+//! **in request order** as soon as each prefix completes. Reports are
+//! therefore byte-identical to a serial run no matter the worker count or
+//! scheduling order; only the wall-clock summary (which carries timings)
+//! varies, which is why the binary prints it to stderr rather than stdout.
+//!
+//! Panics inside an experiment are caught per job, recorded in the
+//! outcome, and re-raised by [`run_suite`] after every worker has drained —
+//! one broken figure doesn't strand the queue mid-run.
+
+use crate::prep::{CacheStats, PrepCache};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The result of one experiment: its report (or caught panic) and timing.
+#[derive(Clone, Debug)]
+pub struct ExperimentOutcome {
+    /// Experiment name as requested.
+    pub name: String,
+    /// The formatted report, or the panic message if the experiment died.
+    pub report: Result<String, String>,
+    /// Wall-clock time this experiment spent executing.
+    pub wall: Duration,
+}
+
+/// Everything [`run_suite`] produced: per-experiment outcomes in request
+/// order plus whole-run context for the summary.
+#[derive(Clone, Debug)]
+pub struct SuiteResult {
+    /// Outcomes in the order the experiments were requested.
+    pub outcomes: Vec<ExperimentOutcome>,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock time of the whole suite.
+    pub total_wall: Duration,
+    /// Preparation-cache counters accumulated during the run.
+    pub cache: CacheStats,
+}
+
+impl SuiteResult {
+    /// Sum of per-experiment execution times — the serial-equivalent cost.
+    /// `busy() / total_wall` approximates the parallel speedup achieved.
+    pub fn busy(&self) -> Duration {
+        self.outcomes.iter().map(|o| o.wall).sum()
+    }
+
+    /// Formats the run summary: one wall-time line per experiment, cache
+    /// hit/miss counters, and aggregate timing. Contains timings, so it is
+    /// NOT byte-stable across runs — keep it out of report comparisons.
+    pub fn summary(&self) -> String {
+        let mut out = String::from("--- run summary ---\n");
+        for o in &self.outcomes {
+            let status = if o.report.is_ok() { "" } else { "  [PANICKED]" };
+            out.push_str(&format!(
+                "{:<24} {:>9.3}s{}\n",
+                o.name,
+                o.wall.as_secs_f64(),
+                status
+            ));
+        }
+        out.push_str(&format!(
+            "{:<24} {:>9.3}s wall ({:.3}s serial-equivalent, {} jobs, {:.2}x)\n",
+            "total",
+            self.total_wall.as_secs_f64(),
+            self.busy().as_secs_f64(),
+            self.jobs,
+            self.busy().as_secs_f64() / self.total_wall.as_secs_f64().max(1e-9),
+        ));
+        out.push_str(&self.cache.render());
+        out.push('\n');
+        out
+    }
+}
+
+/// Default worker count: the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Whether `name` is an experiment [`crate::run_experiment`] accepts.
+pub fn is_known_experiment(name: &str) -> bool {
+    crate::EXPERIMENTS.contains(&name)
+        || name == "extra-resnet101"
+        || name == "extra-densenet121"
+        || name.starts_with("compare-")
+}
+
+/// Per-experiment slot shared between workers and the emitting thread.
+struct Slots {
+    done: Mutex<Vec<Option<ExperimentOutcome>>>,
+    ready: Condvar,
+}
+
+/// Runs `names` across `jobs` workers, invoking `on_report` for each
+/// outcome **in request order** as soon as it (and everything before it)
+/// has finished — a serial consumer sees the exact stream a `--jobs 1` run
+/// would produce, while later experiments keep executing in the background.
+///
+/// Returns all outcomes plus run-level context. Unknown names are rejected
+/// up front (before any work starts); experiment panics are captured in
+/// the outcome and also re-raised after the whole suite has drained, so a
+/// long run reports every failure rather than dying at the first.
+///
+/// # Panics
+///
+/// Panics if `names` contains an unknown experiment, if `jobs == 0`, or
+/// (after completion) if any experiment panicked.
+pub fn run_suite<F>(names: &[&str], fast: bool, jobs: usize, mut on_report: F) -> SuiteResult
+where
+    F: FnMut(&ExperimentOutcome),
+{
+    assert!(jobs > 0, "run_suite needs at least one worker");
+    if let Some(bad) = names.iter().find(|n| !is_known_experiment(n)) {
+        panic!("unknown experiment {bad}; known: {:?}", crate::EXPERIMENTS);
+    }
+    let start = Instant::now();
+    let stats_before = PrepCache::global().stats();
+    let cursor = AtomicUsize::new(0);
+    let slots = Slots {
+        done: Mutex::new((0..names.len()).map(|_| None).collect()),
+        ready: Condvar::new(),
+    };
+
+    let mut outcomes: Vec<ExperimentOutcome> = Vec::with_capacity(names.len());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(names.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(name) = names.get(i) else { break };
+                let t = Instant::now();
+                let report = catch_unwind(AssertUnwindSafe(|| crate::run_experiment(name, fast)))
+                    .map_err(|e| panic_message(&e));
+                let outcome = ExperimentOutcome {
+                    name: name.to_string(),
+                    report,
+                    wall: t.elapsed(),
+                };
+                let mut done = slots.done.lock().unwrap();
+                done[i] = Some(outcome);
+                slots.ready.notify_all();
+            });
+        }
+
+        // Emit in request order while workers keep draining the queue.
+        let mut done = slots.done.lock().unwrap();
+        for i in 0..names.len() {
+            while done[i].is_none() {
+                done = slots.ready.wait(done).unwrap();
+            }
+            let outcome = done[i].take().expect("slot filled");
+            drop(done);
+            on_report(&outcome);
+            outcomes.push(outcome);
+            done = slots.done.lock().unwrap();
+        }
+    });
+
+    let stats_after = PrepCache::global().stats();
+    let result = SuiteResult {
+        jobs,
+        total_wall: start.elapsed(),
+        cache: CacheStats {
+            prepared_hits: stats_after.prepared_hits - stats_before.prepared_hits,
+            prepared_misses: stats_after.prepared_misses - stats_before.prepared_misses,
+            workload_hits: stats_after.workload_hits - stats_before.workload_hits,
+            workload_misses: stats_after.workload_misses - stats_before.workload_misses,
+        },
+        outcomes,
+    };
+    if let Some(failed) = result.outcomes.iter().find(|o| o.report.is_err()) {
+        panic!(
+            "experiment {} panicked: {}",
+            failed.name,
+            failed.report.as_ref().unwrap_err()
+        );
+    }
+    result
+}
+
+/// Like [`run_suite`] but collects the ordered reports instead of streaming
+/// them — the form the determinism tests compare byte-for-byte.
+pub fn run_suite_collect(names: &[&str], fast: bool, jobs: usize) -> Vec<String> {
+    let result = run_suite(names, fast, jobs, |_| {});
+    result
+        .outcomes
+        .into_iter()
+        .map(|o| o.report.expect("run_suite re-raises panics"))
+        .collect()
+}
+
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_stream_in_request_order() {
+        let names = ["table1", "fig17", "table1"];
+        let mut seen = Vec::new();
+        let result = run_suite(&names, true, 2, |o| seen.push(o.name.clone()));
+        assert_eq!(seen, vec!["table1", "fig17", "table1"]);
+        assert_eq!(result.outcomes.len(), 3);
+        assert!(result.outcomes.iter().all(|o| o.report.is_ok()));
+        // Identical requests produce identical reports.
+        assert_eq!(
+            result.outcomes[0].report.as_ref().unwrap(),
+            result.outcomes[2].report.as_ref().unwrap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_names_rejected_before_running() {
+        let _ = run_suite(&["fig99"], true, 2, |_| {});
+    }
+
+    #[test]
+    fn summary_mentions_every_experiment() {
+        let result = run_suite(&["table1", "fig17"], true, 1, |_| {});
+        let s = result.summary();
+        assert!(s.contains("table1"));
+        assert!(s.contains("fig17"));
+        assert!(s.contains("prepared networks"));
+        assert!(s.contains("workload sets"));
+    }
+}

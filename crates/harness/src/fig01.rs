@@ -4,7 +4,7 @@
 //! levels spanning the outliers, outlier-aware quantization spends them on
 //! the bulk.
 
-use crate::prep::{default_scale, Prepared};
+use crate::prep::{default_scale, prepared};
 use crate::report::{bar, num, table};
 use ola_nn::synth::weight_values;
 use ola_quant::linear::LinearQuantizer;
@@ -32,7 +32,7 @@ fn histogram_rows(values: &[f32], lo: f64, hi: f64, bins: usize) -> Vec<Vec<Stri
 
 /// Computes and formats Fig 1.
 pub fn run(fast: bool) -> String {
-    let prep = Prepared::new("alexnet", default_scale("alexnet", fast));
+    let prep = prepared("alexnet", default_scale("alexnet", fast));
     // conv2 weights (the layer the paper plots).
     let conv2 = prep
         .net

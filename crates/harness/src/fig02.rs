@@ -8,6 +8,7 @@
 use crate::report::{pct, table};
 use ola_nn::synthnet::{SynthDataset, SynthNet};
 use ola_quant::accuracy::{evaluate_synthnet, QuantSpec};
+use std::sync::{Arc, OnceLock};
 
 /// Sweep points (the paper's x-axis, 0 to 5%).
 pub const RATIOS: [f64; 7] = [0.0, 0.005, 0.01, 0.02, 0.03, 0.04, 0.05];
@@ -55,9 +56,21 @@ impl TrainedSynthNet {
     }
 }
 
+/// Fetches (or trains, exactly once per process and `fast` mode) the shared
+/// [`TrainedSynthNet`] — Figs 2 and 3 both need it, and training dominates
+/// their cost. Seeding is fixed inside [`TrainedSynthNet::train`], so the
+/// shared instance is identical to a freshly-trained one.
+pub fn trained(fast: bool) -> Arc<TrainedSynthNet> {
+    static FAST: OnceLock<Arc<TrainedSynthNet>> = OnceLock::new();
+    static FULL: OnceLock<Arc<TrainedSynthNet>> = OnceLock::new();
+    let slot = if fast { &FAST } else { &FULL };
+    slot.get_or_init(|| Arc::new(TrainedSynthNet::train(fast)))
+        .clone()
+}
+
 /// Computes and formats Fig 2.
 pub fn run(fast: bool) -> String {
-    let t = TrainedSynthNet::train(fast);
+    let t = trained(fast);
     let mut rows = Vec::new();
     for ratio in RATIOS {
         let acc = evaluate_synthnet(&t.net, &t.test, &t.train, &QuantSpec::paper_4bit(ratio), 5);

@@ -6,7 +6,7 @@
 //! [`ola_quant::accuracy`] applied to their synthetic trained-like weights —
 //! a correspondence check, not an ImageNet measurement (DESIGN.md §2).
 
-use crate::fig02::TrainedSynthNet;
+use crate::fig02::trained;
 use crate::report::{pct, table};
 use ola_nn::synth::{synthesize_params, weight_values, SynthConfig};
 use ola_nn::zoo::{self, ZooConfig};
@@ -43,7 +43,7 @@ fn layer_weights(network: &str) -> Vec<Vec<f32>> {
 /// Computes and formats Fig 3.
 pub fn run(fast: bool) -> String {
     // Measured path: SynthNet at the AlexNet operating point.
-    let t = TrainedSynthNet::train(fast);
+    let t = trained(fast);
     let measured = evaluate_synthnet(&t.net, &t.test, &t.train, &QuantSpec::paper_4bit(0.035), 5);
 
     // Surrogate path: the five ImageNet networks.

@@ -3,7 +3,7 @@
 //! normalized to Eyeriss16 — plus the headline reduction percentages the
 //! paper quotes in the abstract.
 
-use crate::prep::{default_scale, Prepared, SixWay};
+use crate::prep::{default_scale, prepared, SixWay};
 use crate::report::{num, pct, table};
 use ola_energy::TechParams;
 use ola_sim::NetworkRun;
@@ -35,7 +35,7 @@ fn reduction(new: f64, old: f64) -> f64 {
 
 /// Runs the figure for one network and formats the report.
 pub fn run(network: &str, fast: bool) -> String {
-    let prep = Prepared::new(network, default_scale(network, fast));
+    let prep = prepared(network, default_scale(network, fast));
     let six = SixWay::run(&prep, &TechParams::default());
     render(network, &six)
 }

@@ -2,7 +2,7 @@
 //! batch sizes 1, 4, 16, for OLAccel (16-bit outliers) and ZeNA, normalized
 //! to ZeNA with batch 1 on one NPU.
 
-use crate::prep::{default_scale, Prepared};
+use crate::prep::{default_scale, prepared};
 use crate::report::{num, table};
 use ola_baselines::ZenaSim;
 use ola_core::scale::{speedup, ScaleParams};
@@ -16,7 +16,7 @@ pub const BATCHES: [usize; 3] = [1, 4, 16];
 
 /// Computes and formats Fig 15.
 pub fn run(fast: bool) -> String {
-    let prep = Prepared::new("alexnet", default_scale("alexnet", fast));
+    let prep = prepared("alexnet", default_scale("alexnet", fast));
     let (ws16, _) = prep.paper_workloads();
     let tech = TechParams::default();
     let p = ScaleParams::default();

@@ -8,14 +8,14 @@
 //! ratios cluster near the 3% target even though the thresholds never see
 //! the runtime input.
 
-use crate::prep::{default_scale, Prepared};
+use crate::prep::{default_scale, prepared};
 use crate::report::{bar, pct, table};
 use ola_quant::calibrate::calibrate_activations;
 use ola_tensor::init::uniform_tensor;
 
 /// Computes and formats Fig 16.
 pub fn run(fast: bool) -> String {
-    let prep = Prepared::new("alexnet", default_scale("alexnet", fast));
+    let prep = prepared("alexnet", default_scale("alexnet", fast));
 
     // Design time: calibrate thresholds on sample inputs (the paper used
     // 100 random images; a few suffice at our statistics).

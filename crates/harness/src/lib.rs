@@ -11,7 +11,13 @@
 //! comparisons the paper makes — who wins, by roughly what factor, where
 //! the crossovers are — are the reproduction targets, recorded side by side
 //! with the paper's values in EXPERIMENTS.md.
+//!
+//! Experiments are independent and internally seeded, so the suite runs in
+//! parallel through [`engine::run_suite`], with expensive workload
+//! preparation shared (and computed exactly once per key) via
+//! [`prep::PrepCache`]. Reports are byte-identical at any worker count.
 
+pub mod engine;
 pub mod fig01;
 pub mod fig02;
 pub mod fig03;

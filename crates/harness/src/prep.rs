@@ -1,19 +1,43 @@
 //! Workload preparation shared by the experiments: build a zoo network with
 //! synthetic trained-like parameters, run the f32 reference once, and
 //! extract per-layer workloads for each policy of interest.
+//!
+//! Preparation — synthesis, sparsity shaping, and the f32 forward pass — is
+//! the dominant cost of a full reproduction run, and most figures ask for
+//! the *same* prepared network (AlexNet at the default scale). The
+//! [`PrepCache`] therefore memoizes both levels of the pipeline
+//! process-wide:
+//!
+//! * [`Prepared`] networks, keyed by `(network, scale, seed)`;
+//! * [`WorkloadSet`]s, keyed by `(network, scale, seed, policy)`.
+//!
+//! Every entry is computed exactly once per process — concurrent requests
+//! for the same key block on a per-key [`OnceLock`] while the first caller
+//! builds it — so the parallel experiment engine (`crate::engine`) gets the
+//! same bytes in every report regardless of scheduling order. All
+//! randomness is derived from the explicit `seed` argument (see
+//! [`Prepared::with_seed`]), never from global state, which is what makes
+//! the memoization sound.
 
 use ola_baselines::{EyerissSim, ZenaSim};
 use ola_core::OlAccelSim;
 use ola_energy::{ComparisonMode, TechParams};
-use ola_nn::synth::{
-    activation_sparsity_target, shape_activation_sparsity, synthesize_params, SynthConfig,
-};
+use ola_nn::synth::{activation_sparsity_target, shape_activation_sparsity, SynthConfig};
 use ola_nn::zoo::{self, ZooConfig};
 use ola_nn::{Network, Params};
+use ola_sim::policy::FirstLayerPolicy;
 use ola_sim::workload::{extract_from_acts, WorkloadSet};
 use ola_sim::{NetworkRun, QuantPolicy};
 use ola_tensor::init::uniform_tensor;
 use ola_tensor::Tensor;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The experiment suite's base preparation seed. Input tensors derive from
+/// `seed + scale` and parameter synthesis from a seed-dependent offset, so
+/// every run of every figure sees identical data for identical keys.
+pub const DEFAULT_SEED: u64 = 0xDA7A;
 
 /// Default spatial scale per network: full resolution where the naive f32
 /// reference is fast enough, modestly reduced where it is not. Relative
@@ -43,22 +67,47 @@ pub struct Prepared {
     pub acts: Vec<Tensor>,
     /// Network name.
     pub network: String,
+    /// Spatial scale the network was built at.
+    pub scale: usize,
+    /// Preparation seed (see [`Prepared::with_seed`]).
+    pub seed: u64,
+    /// Whether this instance lives in the global cache; if so, workload
+    /// extraction routes through the cache too.
+    cached: bool,
 }
 
 impl Prepared {
-    /// Builds and runs a zoo network at the given spatial scale. The
-    /// synthetic parameters are bias-shaped so each layer's post-ReLU
-    /// sparsity matches the published activation sparsity of the trained
-    /// model (DESIGN.md §2).
+    /// Builds and runs a zoo network at the given spatial scale with the
+    /// suite's [`DEFAULT_SEED`], bypassing the cache. Prefer [`prepared`]
+    /// inside experiment code so concurrent figures share one synthesis.
     pub fn new(network: &str, scale: usize) -> Self {
+        Self::with_seed(network, scale, DEFAULT_SEED)
+    }
+
+    /// Builds and runs a zoo network at `scale` from an explicit `seed`.
+    ///
+    /// The synthetic parameters are bias-shaped so each layer's post-ReLU
+    /// sparsity matches the published activation sparsity of the trained
+    /// model (DESIGN.md §2). The reference input derives from
+    /// `seed + scale`; parameter synthesis derives from a seed-dependent
+    /// offset of the synthesis base seed (so `DEFAULT_SEED` reproduces the
+    /// historical streams exactly, and any other seed yields an independent
+    /// but equally deterministic preparation).
+    pub fn with_seed(network: &str, scale: usize, seed: u64) -> Self {
         let cfg = ZooConfig {
             spatial_scale: scale,
             include_classifier: true,
             batch: 1,
         };
         let net = zoo::by_name(network, &cfg);
-        let mut params = synthesize_params(&net, &SynthConfig::for_network(network));
-        let input = uniform_tensor(net.input_shape(), -1.0, 1.0, 0xDA7A + scale as u64);
+        let synth_cfg = SynthConfig::for_network_seeded(network, seed ^ DEFAULT_SEED);
+        let mut params = ola_nn::synth::synthesize_params(&net, &synth_cfg);
+        let input = uniform_tensor(
+            net.input_shape(),
+            -1.0,
+            1.0,
+            seed.wrapping_add(scale as u64),
+        );
         shape_activation_sparsity(
             &net,
             &mut params,
@@ -72,20 +121,209 @@ impl Prepared {
             params,
             acts,
             network: network.to_string(),
+            scale,
+            seed,
+            cached: false,
         }
     }
 
-    /// Extracts a workload set under `policy` (reuses the forward pass).
-    pub fn workloads(&self, policy: &QuantPolicy) -> WorkloadSet {
+    /// Extracts a workload set under `policy`, reusing the forward pass.
+    ///
+    /// Cache-resident instances (from [`prepared`] / [`PrepCache`]) also
+    /// memoize the extraction per policy; directly-constructed ones extract
+    /// fresh each call.
+    pub fn workloads(&self, policy: &QuantPolicy) -> Arc<WorkloadSet> {
+        if self.cached {
+            PrepCache::global().workloads_for(self, policy)
+        } else {
+            Arc::new(self.extract(policy))
+        }
+    }
+
+    /// Uncached workload extraction under `policy`.
+    pub fn extract(&self, policy: &QuantPolicy) -> WorkloadSet {
         extract_from_acts(&self.net, &self.params, &self.acts, policy)
     }
 
     /// Workloads under the paper's standard OLAccel16 / OLAccel8 policies.
-    pub fn paper_workloads(&self) -> (WorkloadSet, WorkloadSet) {
+    pub fn paper_workloads(&self) -> (Arc<WorkloadSet>, Arc<WorkloadSet>) {
         (
             self.workloads(&QuantPolicy::olaccel16(&self.network)),
             self.workloads(&QuantPolicy::olaccel8(&self.network)),
         )
+    }
+}
+
+/// Fetches (or builds, exactly once per process) the shared [`Prepared`]
+/// network for `(network, scale)` at the suite's [`DEFAULT_SEED`].
+pub fn prepared(network: &str, scale: usize) -> Arc<Prepared> {
+    PrepCache::global().prepared(network, scale, DEFAULT_SEED)
+}
+
+/// Fetches (or extracts, exactly once per process) the shared
+/// [`WorkloadSet`] for `(network, scale, policy)` at [`DEFAULT_SEED`].
+pub fn workloads(network: &str, scale: usize, policy: &QuantPolicy) -> Arc<WorkloadSet> {
+    let prep = prepared(network, scale);
+    PrepCache::global().workloads_for(&prep, policy)
+}
+
+/// A `QuantPolicy` reduced to hashable identity (`f64` ratio keyed by its
+/// bit pattern) for use in cache keys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PolicyKey {
+    mode_bits: u32,
+    low_bits: u32,
+    ratio_bits: u64,
+    first_layer: u8,
+}
+
+impl From<&QuantPolicy> for PolicyKey {
+    fn from(p: &QuantPolicy) -> Self {
+        PolicyKey {
+            mode_bits: p.mode.bits(),
+            low_bits: p.low_bits,
+            ratio_bits: p.outlier_ratio.to_bits(),
+            first_layer: match p.first_layer {
+                FirstLayerPolicy::RawActs => 0,
+                FirstLayerPolicy::RawActsWideWeights => 1,
+                FirstLayerPolicy::FineTuned4Bit => 2,
+            },
+        }
+    }
+}
+
+type PrepKey = (String, usize, u64);
+type WsKey = (String, usize, u64, PolicyKey);
+
+/// A point-in-time snapshot of [`PrepCache`] hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Prepared-network requests served from the cache.
+    pub prepared_hits: u64,
+    /// Prepared-network requests that triggered a synthesis.
+    pub prepared_misses: u64,
+    /// Workload-set requests served from the cache.
+    pub workload_hits: u64,
+    /// Workload-set requests that triggered an extraction.
+    pub workload_misses: u64,
+}
+
+impl CacheStats {
+    /// Formats the counters as the run-summary lines.
+    pub fn render(&self) -> String {
+        format!(
+            "prepared networks: {} built, {} cache hits\n\
+             workload sets:     {} extracted, {} cache hits",
+            self.prepared_misses, self.prepared_hits, self.workload_misses, self.workload_hits
+        )
+    }
+}
+
+/// Process-wide memoization of [`Prepared`] networks and [`WorkloadSet`]s.
+///
+/// Each map slot holds an `Arc<OnceLock<..>>`: the outer mutex is held only
+/// long enough to find or insert the slot, and the `OnceLock` guarantees
+/// the expensive build runs exactly once while concurrent requesters for
+/// the same key block until it lands. Requests for *different* keys never
+/// serialize on each other's builds.
+#[derive(Default)]
+pub struct PrepCache {
+    prepared: Mutex<HashMap<PrepKey, Arc<OnceLock<Arc<Prepared>>>>>,
+    workloads: Mutex<HashMap<WsKey, Arc<OnceLock<Arc<WorkloadSet>>>>>,
+    prepared_hits: AtomicU64,
+    prepared_misses: AtomicU64,
+    workload_hits: AtomicU64,
+    workload_misses: AtomicU64,
+}
+
+impl PrepCache {
+    /// An empty cache (tests; production code uses [`PrepCache::global`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide cache instance.
+    pub fn global() -> &'static PrepCache {
+        static GLOBAL: OnceLock<PrepCache> = OnceLock::new();
+        GLOBAL.get_or_init(PrepCache::new)
+    }
+
+    /// Fetches or builds the [`Prepared`] network for a key. Exactly one
+    /// caller per key runs the synthesis; the rest count hits.
+    pub fn prepared(&self, network: &str, scale: usize, seed: u64) -> Arc<Prepared> {
+        let slot = {
+            let mut map = self.prepared.lock().unwrap();
+            map.entry((network.to_string(), scale, seed))
+                .or_default()
+                .clone()
+        };
+        let mut built = false;
+        let value = slot
+            .get_or_init(|| {
+                built = true;
+                let mut p = Prepared::with_seed(network, scale, seed);
+                p.cached = true;
+                Arc::new(p)
+            })
+            .clone();
+        if built {
+            self.prepared_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.prepared_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// Fetches or extracts the [`WorkloadSet`] of `prep` under `policy`.
+    pub fn workloads_for(&self, prep: &Prepared, policy: &QuantPolicy) -> Arc<WorkloadSet> {
+        let key = (
+            prep.network.clone(),
+            prep.scale,
+            prep.seed,
+            PolicyKey::from(policy),
+        );
+        let slot = {
+            let mut map = self.workloads.lock().unwrap();
+            map.entry(key).or_default().clone()
+        };
+        let mut built = false;
+        let value = slot
+            .get_or_init(|| {
+                built = true;
+                Arc::new(prep.extract(policy))
+            })
+            .clone();
+        if built {
+            self.workload_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.workload_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// Snapshots the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            prepared_hits: self.prepared_hits.load(Ordering::Relaxed),
+            prepared_misses: self.prepared_misses.load(Ordering::Relaxed),
+            workload_hits: self.workload_hits.load(Ordering::Relaxed),
+            workload_misses: self.workload_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every entry and zeroes the counters (test isolation; also
+    /// frees the memory of a long-lived process between suites).
+    pub fn reset(&self) {
+        // Take both map locks for the whole reset so a concurrent request
+        // can't observe cleared stats against a still-populated map.
+        let mut prepared = self.prepared.lock().unwrap();
+        let mut workloads = self.workloads.lock().unwrap();
+        prepared.clear();
+        workloads.clear();
+        self.prepared_hits.store(0, Ordering::Relaxed);
+        self.prepared_misses.store(0, Ordering::Relaxed);
+        self.workload_hits.store(0, Ordering::Relaxed);
+        self.workload_misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -129,5 +367,72 @@ impl SixWay {
             &self.olaccel16,
             &self.olaccel8,
         ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_and_direct_preparation_agree() {
+        let cache = PrepCache::new();
+        let via_cache = cache.prepared("alexnet", 8, DEFAULT_SEED);
+        let direct = Prepared::new("alexnet", 8);
+        assert_eq!(via_cache.network, direct.network);
+        assert_eq!(via_cache.acts.len(), direct.acts.len());
+        for (a, b) in via_cache.acts.iter().zip(&direct.acts) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn cache_builds_each_key_once() {
+        let cache = PrepCache::new();
+        let a = cache.prepared("alexnet", 8, DEFAULT_SEED);
+        let b = cache.prepared("alexnet", 8, DEFAULT_SEED);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!(s.prepared_misses, 1);
+        assert_eq!(s.prepared_hits, 1);
+
+        let policy = QuantPolicy::olaccel16("alexnet");
+        let w1 = cache.workloads_for(&a, &policy);
+        let w2 = cache.workloads_for(&b, &policy);
+        assert!(Arc::ptr_eq(&w1, &w2));
+        let s = cache.stats();
+        assert_eq!(s.workload_misses, 1);
+        assert_eq!(s.workload_hits, 1);
+    }
+
+    #[test]
+    fn distinct_policies_get_distinct_entries() {
+        let cache = PrepCache::new();
+        let prep = cache.prepared("alexnet", 8, DEFAULT_SEED);
+        let mut p16 = QuantPolicy::olaccel16("alexnet");
+        let w_a = cache.workloads_for(&prep, &p16);
+        p16.outlier_ratio = 0.01;
+        let w_b = cache.workloads_for(&prep, &p16);
+        assert!(!Arc::ptr_eq(&w_a, &w_b));
+        assert_eq!(cache.stats().workload_misses, 2);
+    }
+
+    #[test]
+    fn seeds_change_the_preparation() {
+        let a = Prepared::with_seed("alexnet", 8, DEFAULT_SEED);
+        let b = Prepared::with_seed("alexnet", 8, 1234);
+        let last_a = a.acts.last().unwrap().as_slice();
+        let last_b = b.acts.last().unwrap().as_slice();
+        assert_ne!(last_a, last_b, "different seeds must change the run");
+    }
+
+    #[test]
+    fn reset_clears_entries_and_counters() {
+        let cache = PrepCache::new();
+        let _ = cache.prepared("alexnet", 8, DEFAULT_SEED);
+        cache.reset();
+        assert_eq!(cache.stats(), CacheStats::default());
+        let _ = cache.prepared("alexnet", 8, DEFAULT_SEED);
+        assert_eq!(cache.stats().prepared_misses, 1);
     }
 }

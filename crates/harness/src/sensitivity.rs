@@ -7,7 +7,7 @@
 //! qualitative conclusion — OLAccel wins, driven by memory — should hold
 //! across the whole range; the exact percentage moves.
 
-use crate::prep::{default_scale, Prepared};
+use crate::prep::{default_scale, prepared};
 use crate::report::{num, pct, table};
 use ola_baselines::ZenaSim;
 use ola_core::OlAccelSim;
@@ -22,7 +22,7 @@ fn reduction_with(tech: &TechParams, ws: &WorkloadSet) -> f64 {
 
 /// Runs the sweep and formats the report.
 pub fn run(fast: bool) -> String {
-    let prep = Prepared::new("alexnet", default_scale("alexnet", fast));
+    let prep = prepared("alexnet", default_scale("alexnet", fast));
     let (ws16, _) = prep.paper_workloads();
     let base = TechParams::default();
 
@@ -66,6 +66,7 @@ pub fn run(fast: bool) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::prep::Prepared;
 
     #[test]
     fn advantage_is_robust() {

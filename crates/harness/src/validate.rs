@@ -1,7 +1,7 @@
 //! Cross-validation of the closed-form cycle model against the detailed
 //! event-driven cluster simulation (DESIGN.md §7) on real layer workloads.
 
-use crate::prep::{default_scale, Prepared};
+use crate::prep::{default_scale, prepared};
 use crate::report::{num, table};
 use ola_core::cost::GroupTuning;
 use ola_core::event::{validate_layer, EventConfig};
@@ -9,7 +9,7 @@ use ola_sim::QuantPolicy;
 
 /// Runs the validation on AlexNet's layers and formats the comparison.
 pub fn run(fast: bool) -> String {
-    let prep = Prepared::new("alexnet", default_scale("alexnet", fast));
+    let prep = prepared("alexnet", default_scale("alexnet", fast));
     let ws = prep.workloads(&QuantPolicy::olaccel16("alexnet"));
     let tuning = GroupTuning::default();
     let cfg = EventConfig::default();

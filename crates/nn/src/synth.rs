@@ -239,6 +239,17 @@ impl SynthConfig {
             ..Default::default()
         }
     }
+
+    /// Like [`SynthConfig::for_network`], with the base RNG seed offset by
+    /// `seed_offset` (an offset of 0 keeps the default streams). Callers
+    /// that prepare several independent instances of one network — the
+    /// harness's seeded preparation cache — pass distinct offsets to get
+    /// decorrelated but fully deterministic parameter draws.
+    pub fn for_network_seeded(name: &str, seed_offset: u64) -> Self {
+        let mut cfg = Self::for_network(name);
+        cfg.seed ^= seed_offset;
+        cfg
+    }
 }
 
 /// Threshold above which a materialized linear layer switches to row

@@ -1,10 +1,9 @@
 //! Quantization policy applied when extracting workloads.
 
 use ola_energy::ComparisonMode;
-use serde::{Deserialize, Serialize};
 
 /// How the first convolutional layer is treated (§II / Fig 3 notes).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FirstLayerPolicy {
     /// Raw input activations at the comparison bit width (16 or 8), 4-bit
     /// weights — AlexNet / VGG-16.
@@ -19,7 +18,7 @@ pub enum FirstLayerPolicy {
 }
 
 /// The quantization operating point for a simulation run.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct QuantPolicy {
     /// 16-bit or 8-bit comparison (sets baseline precision, raw input
     /// activation width and outlier activation width).

@@ -1,10 +1,9 @@
 //! Simulation result records.
 
 use ola_energy::EnergyBreakdown;
-use serde::{Deserialize, Serialize};
 
 /// Cycle decomposition of a layer run (Fig 18's Run/Skip/Idle buckets).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Utilization {
     /// Cycles spent on productive MAC broadcasts.
     pub run_cycles: u64,
@@ -30,7 +29,7 @@ impl Utilization {
 }
 
 /// Result of simulating one layer on one accelerator.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct LayerRun {
     /// Layer name.
     pub name: String,
@@ -46,7 +45,7 @@ pub struct LayerRun {
 }
 
 /// Result of simulating a whole network on one accelerator.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct NetworkRun {
     /// Accelerator label, e.g. "OLAccel16".
     pub accelerator: String,

@@ -13,10 +13,9 @@ use ola_nn::{Network, Op, Params};
 use ola_quant::calibrate::{calibrate_values, LayerCalibration};
 use ola_quant::outlier::OutlierQuantizer;
 use ola_tensor::{ChannelChunks, Shape4, Tensor, CHUNK_LANES};
-use serde::{Deserialize, Serialize};
 
 /// Whether a layer is convolutional or fully connected.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LayerKind {
     /// 2-D convolution.
     Conv,
@@ -25,7 +24,7 @@ pub enum LayerKind {
 }
 
 /// Everything the accelerator models need to know about one layer.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct LayerWorkload {
     /// Layer name from the network graph.
     pub name: String,
@@ -71,9 +70,9 @@ pub struct LayerWorkload {
     pub out_zero_fraction: f64,
 }
 
-/// A `Shape4` mirror that derives serde (kept separate so `ola-tensor` stays
-/// serde-free).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+/// A plain-data `Shape4` mirror (kept separate so workload records stay
+/// decoupled from `ola-tensor`'s internal shape type).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Shape4Ser {
     /// Batch.
     pub n: usize,
@@ -158,7 +157,7 @@ impl LayerWorkload {
 }
 
 /// All compute-layer workloads of one network under one policy.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct WorkloadSet {
     /// Network name.
     pub network: String,

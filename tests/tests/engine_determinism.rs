@@ -1,0 +1,36 @@
+//! The engine's core guarantee: reports are byte-identical at any worker
+//! count. A serial run and a 4-worker run of the same experiment subset
+//! must produce the same strings in the same order, because every
+//! experiment seeds its own RNG streams and shared preparation is memoized
+//! by value-determining keys — scheduling order can't leak into output.
+
+use ola_harness::engine::run_suite_collect;
+
+/// Fast experiments covering the cheap analytic reports (`table1`,
+/// `fig17`) and the cache-heavy AlexNet figures (`fig14`, `fig18`).
+const SUBSET: &[&str] = &["table1", "fig14", "fig17", "fig18"];
+
+#[test]
+fn reports_are_byte_identical_across_job_counts() {
+    let serial = run_suite_collect(SUBSET, true, 1);
+    let parallel = run_suite_collect(SUBSET, true, 4);
+
+    assert_eq!(serial.len(), SUBSET.len());
+    assert_eq!(parallel.len(), SUBSET.len());
+    for (i, name) in SUBSET.iter().enumerate() {
+        assert!(!serial[i].is_empty(), "{name} produced an empty report");
+        assert_eq!(
+            serial[i], parallel[i],
+            "{name}: --jobs 1 and --jobs 4 reports differ"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_stable_within_a_process() {
+    // Same subset again: everything is now cache-resident, and the reports
+    // must still match a fresh serial run exactly.
+    let again = run_suite_collect(SUBSET, true, 2);
+    let reference = run_suite_collect(SUBSET, true, 1);
+    assert_eq!(again, reference);
+}

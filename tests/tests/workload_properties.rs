@@ -1,0 +1,170 @@
+//! Property tests for `ola_sim::workload` extraction invariants.
+//!
+//! One small AlexNet preparation is shared across all cases (it is the
+//! expensive part); each case extracts workloads under a randomly drawn
+//! policy and checks the structural invariants every consumer of
+//! [`ola_sim::workload::LayerWorkload`] relies on: chunk statistics bounded
+//! by the 16-lane chunk width, counts and fractions in range, and geometry
+//! (MACs, weight counts, shapes) independent of the quantization policy.
+
+use ola_energy::ComparisonMode;
+use ola_harness::prep::Prepared;
+use ola_sim::policy::FirstLayerPolicy;
+use ola_sim::workload::WorkloadSet;
+use ola_sim::QuantPolicy;
+use ola_tensor::CHUNK_LANES;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// The shared preparation: AlexNet at the smallest zoo scale, built once.
+fn prep() -> &'static Prepared {
+    static PREP: OnceLock<Prepared> = OnceLock::new();
+    PREP.get_or_init(|| Prepared::new("alexnet", 8))
+}
+
+fn policy_from(ratio: f64, bits16: bool, first: u8, low_bits: u32) -> QuantPolicy {
+    QuantPolicy {
+        mode: if bits16 {
+            ComparisonMode::Bits16
+        } else {
+            ComparisonMode::Bits8
+        },
+        low_bits,
+        outlier_ratio: ratio,
+        first_layer: match first {
+            0 => FirstLayerPolicy::RawActs,
+            1 => FirstLayerPolicy::RawActsWideWeights,
+            _ => FirstLayerPolicy::FineTuned4Bit,
+        },
+    }
+}
+
+fn check_invariants(ws: &WorkloadSet, policy: &QuantPolicy) -> Result<(), TestCaseError> {
+    prop_assert!(!ws.layers.is_empty());
+    for (i, l) in ws.layers.iter().enumerate() {
+        prop_assert_eq!(l.index, i);
+        prop_assert!(l.macs > 0, "{}: zero MACs", l.name);
+        prop_assert!(l.weight_count > 0);
+        prop_assert!(!l.in_shape.is_empty() && !l.out_shape.is_empty());
+
+        // Chunk statistics are bounded by the 16-lane chunk geometry.
+        prop_assert!(
+            l.mean_chunk_nnz() <= CHUNK_LANES as f64,
+            "{}: mean_chunk_nnz {} > {}",
+            l.name,
+            l.mean_chunk_nnz(),
+            CHUNK_LANES
+        );
+        prop_assert!(l.chunk_nnz.iter().all(|&n| n as usize <= CHUNK_LANES));
+        prop_assert!(l.chunk_zero_quads.iter().all(|&q| q <= 4));
+        prop_assert_eq!(l.chunk_nnz.len(), l.chunk_zero_quads.len());
+
+        // Counts: outliers are a subset of the input activations.
+        prop_assert!(
+            l.outlier_act_count() <= l.act_count(),
+            "{}: {} outliers > {} acts",
+            l.name,
+            l.outlier_act_count(),
+            l.act_count()
+        );
+        prop_assert!(l.group_units() > 0);
+
+        // Every measured fraction lies in [0, 1]; the weight-chunk
+        // single/multi outlier fractions partition a subset of chunks.
+        for (what, f) in [
+            ("weight_zero_fraction", l.weight_zero_fraction),
+            ("act_zero_fraction", l.act_zero_fraction),
+            ("weight_outlier_ratio", l.weight_outlier_ratio),
+            ("act_outlier_nonzero_ratio", l.act_outlier_nonzero_ratio),
+            ("act_effective_outlier_ratio", l.act_effective_outlier_ratio),
+            ("wchunk_single_fraction", l.wchunk_single_fraction),
+            ("wchunk_multi_fraction", l.wchunk_multi_fraction),
+            ("out_zero_fraction", l.out_zero_fraction),
+        ] {
+            prop_assert!(
+                (0.0..=1.0).contains(&f),
+                "{}: {what} = {f} outside [0, 1]",
+                l.name
+            );
+        }
+        prop_assert!(l.wchunk_single_fraction + l.wchunk_multi_fraction <= 1.0 + 1e-12);
+
+        // The effective (over all activations) outlier ratio can't exceed
+        // the ratio among non-zero activations.
+        prop_assert!(
+            l.act_effective_outlier_ratio <= l.act_outlier_nonzero_ratio + 1e-12,
+            "{}: effective {} > nonzero {}",
+            l.name,
+            l.act_effective_outlier_ratio,
+            l.act_outlier_nonzero_ratio
+        );
+
+        // Bit widths come straight from the policy.
+        prop_assert_eq!(l.weight_bits, policy.weight_bits(i));
+        prop_assert_eq!(l.act_bits, policy.act_bits(i));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn extraction_invariants_hold_for_any_policy(
+        ratio in 0.0f64..0.12,
+        bits16 in prop::bool::ANY,
+        first in 0u8..3,
+    ) {
+        let policy = policy_from(ratio, bits16, first, 4);
+        let ws = prep().extract(&policy);
+        check_invariants(&ws, &policy)?;
+    }
+
+    #[test]
+    fn geometry_is_policy_invariant(
+        ratio_a in 0.0f64..0.12,
+        ratio_b in 0.0f64..0.12,
+        bits16 in prop::bool::ANY,
+    ) {
+        // MAC counts, weight counts and shapes describe the network, not
+        // the quantization policy — two extractions under different
+        // policies must agree on all of them, layer by layer.
+        let pa = policy_from(ratio_a, bits16, 0, 4);
+        let pb = policy_from(ratio_b, !bits16, 1, 4);
+        let wa = prep().extract(&pa);
+        let wb = prep().extract(&pb);
+        prop_assert_eq!(wa.layers.len(), wb.layers.len());
+        prop_assert_eq!(wa.total_macs(), wb.total_macs());
+        for (a, b) in wa.layers.iter().zip(&wb.layers) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.macs, b.macs);
+            prop_assert_eq!(a.weight_count, b.weight_count);
+            prop_assert_eq!(a.in_shape, b.in_shape);
+            prop_assert_eq!(a.out_shape, b.out_shape);
+            prop_assert_eq!(a.kernel, b.kernel);
+            // Zero patterns depend on the data, not the policy.
+            prop_assert_eq!(&a.chunk_nnz, &b.chunk_nnz);
+            prop_assert_eq!(a.act_zero_fraction, b.act_zero_fraction);
+        }
+    }
+
+    #[test]
+    fn higher_ratio_never_reduces_weight_outliers(
+        lo in 0.0f64..0.05,
+        delta in 0.01f64..0.08,
+    ) {
+        // The realized weight outlier ratio tracks the requested one
+        // monotonically (it is a top-k threshold over a fixed population).
+        let p_lo = policy_from(lo, true, 0, 4);
+        let p_hi = policy_from(lo + delta, true, 0, 4);
+        let w_lo = prep().extract(&p_lo);
+        let w_hi = prep().extract(&p_hi);
+        for (a, b) in w_lo.layers.iter().zip(&w_hi.layers) {
+            prop_assert!(
+                b.weight_outlier_ratio >= a.weight_outlier_ratio - 1e-12,
+                "{}: ratio {} -> {} but realized {} -> {}",
+                a.name, lo, lo + delta, a.weight_outlier_ratio, b.weight_outlier_ratio
+            );
+        }
+    }
+}

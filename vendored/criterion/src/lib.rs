@@ -1,0 +1,247 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the slice of the Criterion 0.5 API its bench targets use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `sample_size` / `throughput` / `finish`), [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple — warm up briefly, time a fixed
+//! number of batches, report min/median/mean per iteration — with no
+//! outlier analysis, plots, or saved baselines. Good enough to compare a
+//! before/after on the same machine, which is all the in-tree benches need.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under Criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Per-iteration throughput annotation (printed alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Compatibility shim: Criterion's builder method for configuring runs.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Builder form: sets the default number of timed samples per benchmark
+    /// (used by `criterion_group!`'s `config = ...` clause). Groups opened
+    /// with [`Criterion::benchmark_group`] inherit this value.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks one function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks (inherits the driver's
+    /// sample size until the group overrides it).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks one function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, name),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (no-op; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times the body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, recording `sample_size` batches after a short warm-up.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: aim for ~2ms per batch so cheap kernels
+        // aren't dominated by timer overhead.
+        let start = Instant::now();
+        let mut warm = 0u64;
+        while start.elapsed() < Duration::from_millis(20) {
+            std_black_box(f());
+            warm += 1;
+        }
+        let per = start.elapsed() / warm.max(1) as u32;
+        let iters = (Duration::from_millis(2).as_nanos() / per.as_nanos().max(1)).max(1) as u64;
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    tp: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<40} (no samples — closure never called iter)");
+        return;
+    }
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / b.iters_per_sample as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let min = per_iter[0];
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let extra = match tp {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>10.1} Melem/s", n as f64 / median * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>10.1} MB/s", n as f64 / median * 1e3)
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<40} min {min:>12} median {median:>12} mean {mean:>12}{extra}",
+        min = fmt_ns(min),
+        median = fmt_ns(median),
+        mean = fmt_ns(mean),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group function calling each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = super::Criterion::default();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_configures_and_runs() {
+        let mut c = super::Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).throughput(super::Throughput::Elements(10));
+        g.bench_function("inner", |b| b.iter(|| 2 * 2));
+        g.finish();
+    }
+}

@@ -1,0 +1,465 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the subset of the proptest API its property tests use: the [`Strategy`]
+//! trait with `prop_map` / `prop_filter`, range and tuple strategies,
+//! `prop::collection::vec`, `prop::bool::ANY`, and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Semantics differ from real proptest in two deliberate ways:
+//!
+//! * **Deterministic sampling, no shrinking.** Each test case is drawn from
+//!   an RNG seeded by `hash(test name) ^ case index`, so failures reproduce
+//!   exactly on every run and machine; a failing case reports its index
+//!   instead of shrinking to a minimal input.
+//! * **Uniform value distribution** rather than proptest's edge-case-biased
+//!   one.
+//!
+//! The case count defaults to 64 and can be raised with the standard
+//! `PROPTEST_CASES` environment variable.
+
+use rand::Rng;
+
+pub mod test_runner {
+    //! Test-loop plumbing used by the [`proptest!`](crate::proptest) macro.
+
+    use rand::SeedableRng;
+
+    /// The RNG driving each test case.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// A test-case failure carrying the formatted assertion message.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Builds a failure from a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    /// Number of cases per property: `PROPTEST_CASES` or 64.
+    pub fn cases() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Deterministic per-(test, case) RNG.
+    pub fn rng_for_case(test_name: &str, case: u64) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a.
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+use test_runner::TestRng;
+
+/// Per-block configuration accepted by `#![proptest_config(...)]` inside
+/// [`proptest!`]. Only `cases` is modelled; an explicit
+/// [`ProptestConfig::with_cases`] wins over the `PROPTEST_CASES` variable
+/// (matching real proptest, where the environment feeds the *default*
+/// config).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running exactly `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: test_runner::cases() as u32,
+        }
+    }
+}
+
+/// How many times a `prop_filter` strategy retries before giving up.
+const FILTER_RETRIES: usize = 10_000;
+
+/// A sampleable input-generation strategy.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Keeps only values passing `pred`; `reason` appears in the panic if
+    /// sampling keeps missing.
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy type (compatibility shim; sampling is dynamic
+    /// already).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// `prop_filter` adapter.
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..FILTER_RETRIES {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter exhausted {FILTER_RETRIES} retries: {}",
+            self.reason
+        );
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+}
+
+pub mod prop {
+    //! The `prop::` namespace (`collection`, `bool`).
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Inclusive-low, exclusive-high length range for [`vec`].
+        #[derive(Clone, Copy, Debug)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n + 1 }
+            }
+        }
+        impl From<core::ops::Range<usize>> for SizeRange {
+            fn from(r: core::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end,
+                }
+            }
+        }
+        impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    lo: *r.start(),
+                    hi: *r.end() + 1,
+                }
+            }
+        }
+
+        /// `Vec` strategy: length drawn from `size`, elements from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// Strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = if self.size.lo + 1 >= self.size.hi {
+                    self.size.lo
+                } else {
+                    rng.gen_range(self.size.lo..self.size.hi)
+                };
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    pub mod bool {
+        //! Boolean strategies.
+
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Fair-coin boolean strategy.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        /// Either boolean with equal probability.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn sample(&self, rng: &mut TestRng) -> bool {
+                rng.gen_bool(0.5)
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Declares property tests: `fn name(arg in strategy, ...) { body }` blocks
+/// become `#[test]` functions running [`test_runner::cases`] deterministic
+/// cases each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = { let __cfg: $crate::ProptestConfig = $cfg; __cfg.cases as u64 };
+                for __case in 0..__cases {
+                    let mut __rng = $crate::test_runner::rng_for_case(stringify!($name), __case);
+                    $(let $arg = $crate::Strategy::sample(&$strat, &mut __rng);)*
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!(
+                            "property '{}' failed at deterministic case {}/{}: {}",
+                            stringify!($name), __case, __cases, e.0
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::test_runner::cases();
+                for __case in 0..__cases {
+                    let mut __rng = $crate::test_runner::rng_for_case(stringify!($name), __case);
+                    $(let $arg = $crate::Strategy::sample(&$strat, &mut __rng);)*
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!(
+                            "property '{}' failed at deterministic case {}/{}: {}",
+                            stringify!($name), __case, __cases, e.0
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the proptest case machinery.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest case machinery.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: {:?} == {:?}: {}",
+            a,
+            b,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest case machinery.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3i32..10, y in 0.0f64..1.0, z in 1usize..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+            prop_assert!((1..=4).contains(&z));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(0u8..=255, 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7);
+        }
+
+        #[test]
+        fn map_and_filter_compose(
+            v in (0i32..100).prop_map(|x| x * 2).prop_filter("even >= 10", |&x| x >= 10)
+        ) {
+            prop_assert_eq!(v % 2, 0);
+            prop_assert!(v >= 10);
+        }
+
+        #[test]
+        fn tuples_sample_componentwise(t in (0u32..4, prop::bool::ANY)) {
+            prop_assert!(t.0 < 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_block_bounds_case_count(x in 0u8..10) {
+            use std::sync::atomic::{AtomicU32, Ordering};
+            static RAN: AtomicU32 = AtomicU32::new(0);
+            let n = RAN.fetch_add(1, Ordering::Relaxed) + 1;
+            prop_assert!(n <= 5, "ran {n} cases despite with_cases(5)");
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::rng_for_case("t", 0);
+        let mut b = crate::test_runner::rng_for_case("t", 0);
+        let s = 0i64..1_000_000;
+        assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+    }
+}
