@@ -90,8 +90,15 @@ pub struct LayerCost {
     /// Total skip-overhead group-cycles.
     pub skip: f64,
     /// Histogram over per-chunk total cycles (index = cycles), weighted by
-    /// how often each chunk is used — Fig 19's distribution.
+    /// how often each chunk is used — Fig 19's distribution. Sized to the
+    /// layer's true worst-case chunk cost (no silent top-bin clamping of
+    /// multi-outlier or ablated-MAC costs), and its mass sums exactly to
+    /// [`LayerWorkload::group_units`].
     pub chunk_hist: Vec<u64>,
+    /// The most expensive single chunk's total cycles — the tail bound the
+    /// closed-form dispatch model ([`crate::dispatch::makespan_analytic`])
+    /// charges for end-of-stream imbalance.
+    pub max_chunk: f64,
 }
 
 impl LayerCost {
@@ -101,31 +108,59 @@ impl LayerCost {
     }
 }
 
+/// How many times chunk `i` of `chunks` is consumed when a layer has
+/// `group_units` total units: the round-robin assignment (`unit % chunks`,
+/// the order `event::jobs_from_workload` streams in) gives the first
+/// `group_units % chunks` chunks one extra use. Summing over all chunks
+/// recovers `group_units` exactly — no ceil-padding phantom units.
+pub fn chunk_uses(group_units: u64, chunks: usize, i: usize) -> u64 {
+    debug_assert!(i < chunks);
+    group_units / chunks as u64 + u64::from((i as u64) < group_units % chunks as u64)
+}
+
 /// Computes the dense-path layer cost from the measured chunk statistics.
 ///
-/// Every input chunk is consumed `group_units / chunk_count` times (once
-/// per output-channel group and contributing kernel offset); the measured
-/// per-chunk costs are scaled accordingly.
+/// Every input chunk is consumed [`chunk_uses`] times (once per
+/// output-channel group and contributing kernel offset, with the
+/// non-divisible remainder spread over the leading chunks exactly as the
+/// event-driven job stream distributes it); the measured per-chunk costs
+/// are scaled accordingly.
 pub fn layer_cost(l: &LayerWorkload, tuning: &GroupTuning) -> LayerCost {
     let passes = precision_passes(l.act_bits, l.weight_bits);
     let extra = outlier_extra_frac(l, tuning);
-    let chunks = l.chunk_nnz.len().max(1);
-    let uses = l.group_units() as f64 / chunks as f64;
+    let chunks = l.chunk_nnz.len();
+    if chunks == 0 {
+        return LayerCost::default();
+    }
+    let units = l.group_units();
+
+    let costs: Vec<ChunkCost> = l
+        .chunk_nnz
+        .iter()
+        .zip(&l.chunk_zero_quads)
+        .map(|(&nnz, &zq)| chunk_cost(nnz as u32, zq as u32, passes, extra))
+        .collect();
+    let max_chunk = costs.iter().map(ChunkCost::total).fold(0.0, f64::max);
+    let top_bucket = costs
+        .iter()
+        .map(|c| c.total().round() as usize)
+        .max()
+        .unwrap_or(0);
 
     let mut run = 0.0;
     let mut skip = 0.0;
-    let mut hist = vec![0u64; (16 * passes as usize + 5).max(24)];
-    for (&nnz, &zq) in l.chunk_nnz.iter().zip(&l.chunk_zero_quads) {
-        let c = chunk_cost(nnz as u32, zq as u32, passes, extra);
-        run += c.run * uses;
-        skip += c.skip * uses;
-        let bucket = (c.total().round() as usize).min(hist.len() - 1);
-        hist[bucket] += uses.round().max(1.0) as u64;
+    let mut hist = vec![0u64; top_bucket + 1];
+    for (i, c) in costs.iter().enumerate() {
+        let uses = chunk_uses(units, chunks, i);
+        run += c.run * uses as f64;
+        skip += c.skip * uses as f64;
+        hist[c.total().round() as usize] += uses;
     }
     LayerCost {
         run,
         skip,
         chunk_hist: hist,
+        max_chunk,
     }
 }
 
@@ -246,11 +281,66 @@ mod tests {
         let c = layer_cost(&l, &GroupTuning::default());
         assert!((c.run - 28.0).abs() < 1e-9);
         assert!((c.skip - 7.0).abs() < 1e-9);
-        // Histogram buckets: 16, 9, 4, 6.
+        // Histogram buckets: 16, 9, 4, 6; sized to the worst chunk.
+        assert_eq!(c.chunk_hist.len(), 17);
         assert_eq!(c.chunk_hist[16], 1);
         assert_eq!(c.chunk_hist[9], 1);
         assert_eq!(c.chunk_hist[4], 1);
         assert_eq!(c.chunk_hist[6], 1);
+        assert_eq!(c.max_chunk, 16.0);
+    }
+
+    #[test]
+    fn non_divisible_units_distribute_remainder() {
+        // 4 chunks but 6 units: chunks 0 and 1 are used twice, 2 and 3 once.
+        let mut l = layer(vec![16, 8, 0, 4], vec![0, 1, 4, 2]);
+        l.macs = 6 * 256;
+        assert_eq!(l.group_units(), 6);
+        assert_eq!(chunk_uses(6, 4, 0), 2);
+        assert_eq!(chunk_uses(6, 4, 1), 2);
+        assert_eq!(chunk_uses(6, 4, 2), 1);
+        assert_eq!(chunk_uses(6, 4, 3), 1);
+        let c = layer_cost(&l, &GroupTuning::default());
+        assert!((c.run - (16.0 * 2.0 + 8.0 * 2.0 + 4.0)).abs() < 1e-9);
+        assert!((c.skip - (1.0 * 2.0 + 4.0 + 2.0)).abs() < 1e-9);
+        // Histogram mass equals group_units exactly.
+        assert_eq!(c.chunk_hist.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn histogram_mass_matches_group_units() {
+        let l = layer(vec![5, 7, 11, 13, 2], vec![1, 0, 0, 0, 3]);
+        let c = layer_cost(&l, &GroupTuning::default());
+        assert_eq!(c.chunk_hist.iter().sum::<u64>(), l.group_units());
+    }
+
+    #[test]
+    fn histogram_sized_for_outlier_worst_case() {
+        // Ablated outlier MAC: every chunk pays (single + multi) extra
+        // cycles per broadcast; the worst chunk must land in its own bucket
+        // rather than being clamped into a 16*passes+4 top bin.
+        let mut l = layer(vec![16; 4], vec![0; 4]);
+        l.wchunk_single_fraction = 0.6;
+        l.wchunk_multi_fraction = 0.4;
+        let tuning = GroupTuning {
+            outlier_mac: false,
+            ..Default::default()
+        };
+        let c = layer_cost(&l, &tuning);
+        // 16 broadcasts * (1 + 1.0) = 32 cycles per chunk.
+        assert_eq!(c.chunk_hist.len(), 33);
+        assert_eq!(c.chunk_hist[32], 4);
+        assert_eq!(c.max_chunk, 32.0);
+    }
+
+    #[test]
+    fn empty_chunk_data_costs_nothing() {
+        let mut l = layer(vec![4; 2], vec![0; 2]);
+        l.chunk_nnz.clear();
+        l.chunk_zero_quads.clear();
+        let c = layer_cost(&l, &GroupTuning::default());
+        assert_eq!(c.total(), 0.0);
+        assert!(c.chunk_hist.is_empty());
     }
 
     #[test]

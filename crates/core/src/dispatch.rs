@@ -8,21 +8,31 @@
 //! the full-network model uses, and the two are cross-validated by tests
 //! and property tests.
 
+use std::borrow::Borrow;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Exact greedy list-scheduling makespan: jobs are taken in order by the
 /// next free group.
 ///
+/// Accepts any job-cycle stream (a slice by reference, or a lazy iterator
+/// such as the event module's `JobStream` mapped to cycles) — the heap is
+/// the only state, so arbitrarily long streams schedule in O(groups)
+/// memory.
+///
 /// # Panics
 ///
 /// Panics if `groups` is zero.
-pub fn makespan_exact(job_cycles: &[u64], groups: usize) -> u64 {
+pub fn makespan_exact<I>(job_cycles: I, groups: usize) -> u64
+where
+    I: IntoIterator,
+    I::Item: Borrow<u64>,
+{
     assert!(groups > 0, "need at least one group");
     let mut heap: BinaryHeap<Reverse<u64>> = (0..groups).map(|_| Reverse(0u64)).collect();
-    for &job in job_cycles {
+    for job in job_cycles {
         let Reverse(t) = heap.pop().expect("heap never empty");
-        heap.push(Reverse(t + job));
+        heap.push(Reverse(t + job.borrow()));
     }
     heap.into_iter().map(|Reverse(t)| t).max().unwrap_or(0)
 }
@@ -44,19 +54,19 @@ mod tests {
 
     #[test]
     fn exact_single_group_is_sum() {
-        assert_eq!(makespan_exact(&[3, 5, 2], 1), 10);
+        assert_eq!(makespan_exact([3, 5, 2], 1), 10);
     }
 
     #[test]
     fn exact_perfect_split() {
-        assert_eq!(makespan_exact(&[4, 4, 4, 4], 4), 4);
-        assert_eq!(makespan_exact(&[4, 4, 4, 4], 2), 8);
+        assert_eq!(makespan_exact([4, 4, 4, 4], 4), 4);
+        assert_eq!(makespan_exact([4, 4, 4, 4], 2), 8);
     }
 
     #[test]
     fn exact_handles_imbalance() {
         // Jobs 10,1,1,1 on 2 groups: g0 takes 10; g1 takes 1,1,1 -> 10.
-        assert_eq!(makespan_exact(&[10, 1, 1, 1], 2), 10);
+        assert_eq!(makespan_exact([10, 1, 1, 1], 2), 10);
     }
 
     #[test]
@@ -82,7 +92,18 @@ mod tests {
 
     #[test]
     fn zero_jobs() {
-        assert_eq!(makespan_exact(&[], 4), 0);
+        assert_eq!(makespan_exact(&[] as &[u64], 4), 0);
         assert_eq!(makespan_analytic(0.0, 0.0, 4), 0.0);
+    }
+
+    #[test]
+    fn streamed_jobs_match_slice() {
+        let jobs: Vec<u64> = (0..200).map(|i| (i * 31 % 13) as u64).collect();
+        for groups in [1usize, 3, 8] {
+            assert_eq!(
+                makespan_exact(jobs.iter().copied(), groups),
+                makespan_exact(&jobs, groups)
+            );
+        }
     }
 }

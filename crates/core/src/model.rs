@@ -1,6 +1,6 @@
 //! The OLAccel cycle/energy model.
 
-use crate::cost::{layer_cost, precision_passes, GroupTuning};
+use crate::cost::{layer_cost, GroupTuning};
 use crate::dispatch::makespan_analytic;
 use ola_energy::config::{AcceleratorConfig, ComparisonMode, MemoryConfig, GROUPS_PER_CLUSTER};
 use ola_energy::dram::dram_energy;
@@ -96,13 +96,14 @@ impl OlAccelSim {
     /// Simulates one layer.
     pub fn simulate_layer(&self, l: &LayerWorkload, mem: &MemoryConfig) -> LayerRun {
         let groups = (self.config.clusters * GROUPS_PER_CLUSTER).max(1);
-        let lanes = self.tuning.group.lanes as f64;
         let lc = layer_cost(l, &self.tuning.group);
-        let passes = precision_passes(l.act_bits, l.weight_bits) as f64;
 
         // ---- dense datapath cycles ----
-        let max_job = lanes * passes + 4.0;
-        let dense = makespan_analytic(lc.total(), max_job, groups) * self.tuning.dispatch_overhead;
+        // The end-of-stream imbalance tail is bounded by the layer's actual
+        // worst chunk (including multi-outlier second passes), the same
+        // quantity the event-driven path realizes job by job.
+        let dense =
+            makespan_analytic(lc.total(), lc.max_chunk, groups) * self.tuning.dispatch_overhead;
 
         // ---- outlier datapath cycles (one outlier PE group per cluster) ----
         let outlier_broadcast_total = self.outlier_broadcasts(l);
@@ -202,17 +203,26 @@ impl OlAccelSim {
         }
     }
 
-    /// Simulates every layer of a workload set.
+    /// Simulates every layer of a workload set, layer-parallel across the
+    /// machine's cores.
+    ///
+    /// Layers are independent given a [`WorkloadSet`], so they fan out over
+    /// [`ola_sim::par::ordered_map`]'s scoped worker threads; results come
+    /// back in forward order and are byte-identical at any worker count.
     pub fn simulate(&self, ws: &WorkloadSet) -> NetworkRun {
+        self.simulate_with_jobs(ws, ola_sim::par::default_jobs())
+    }
+
+    /// [`OlAccelSim::simulate`] with an explicit worker-thread count
+    /// (`1` = inline on the calling thread).
+    pub fn simulate_with_jobs(&self, ws: &WorkloadSet, jobs: usize) -> NetworkRun {
         let mem = MemoryConfig::for_network(&ws.network, self.config.mode);
         NetworkRun {
             accelerator: self.label(),
             network: ws.network.clone(),
-            layers: ws
-                .layers
-                .iter()
-                .map(|l| self.simulate_layer(l, &mem))
-                .collect(),
+            layers: ola_sim::par::ordered_map(&ws.layers, jobs, |_, l| {
+                self.simulate_layer(l, &mem)
+            }),
         }
     }
 
@@ -380,6 +390,25 @@ mod tests {
         l.act_effective_outlier_ratio = 0.0;
         let without = sim.simulate_layer(&l, &mem).cycles;
         assert_eq!(with, without, "raw-input first layer has no outlier split");
+    }
+
+    #[test]
+    fn layer_parallel_simulation_is_deterministic() {
+        let sim = sim16();
+        let ws = ola_sim::WorkloadSet {
+            network: "alexnet".into(),
+            policy: ola_sim::QuantPolicy::olaccel16("alexnet"),
+            layers: (1u8..10).map(|nnz| dense_layer(nnz, 500)).collect(),
+        };
+        let serial = sim.simulate_with_jobs(&ws, 1);
+        let parallel = sim.simulate_with_jobs(&ws, 4);
+        assert_eq!(serial.layers.len(), parallel.layers.len());
+        for (a, b) in serial.layers.iter().zip(&parallel.layers) {
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.utilization, b.utilization);
+            assert_eq!(a.energy.total(), b.energy.total());
+            assert_eq!(a.chunk_cycle_hist, b.chunk_cycle_hist);
+        }
     }
 
     #[test]

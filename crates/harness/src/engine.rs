@@ -81,11 +81,10 @@ impl SuiteResult {
     }
 }
 
-/// Default worker count: the machine's available parallelism.
+/// Default worker count: the machine's available parallelism (shared with
+/// the intra-experiment layer parallelism in [`ola_sim::par`]).
 pub fn default_jobs() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    ola_sim::par::default_jobs()
 }
 
 /// Whether `name` is an experiment [`crate::run_experiment`] accepts.
@@ -94,6 +93,7 @@ pub fn is_known_experiment(name: &str) -> bool {
         || name == "extra-resnet101"
         || name == "extra-densenet121"
         || name.starts_with("compare-")
+        || name.starts_with("validate-")
 }
 
 /// Per-experiment slot shared between workers and the emitting thread.

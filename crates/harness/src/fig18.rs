@@ -20,7 +20,10 @@ pub fn run(fast: bool) -> String {
         if l.kind != LayerKind::Conv {
             continue;
         }
-        let total = r.cycles.max(1) as f64;
+        // The decomposition is lossless (run + skip + idle accounts every
+        // group-cycle — the conservation law of DESIGN.md §5), so the
+        // fractions below always sum to one.
+        let total = r.utilization.total().max(1) as f64;
         let runf = r.utilization.run_cycles as f64 / total;
         let skipf = r.utilization.skip_cycles as f64 / total;
         let idlef = r.utilization.idle_cycles as f64 / total;

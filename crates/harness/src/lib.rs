@@ -91,6 +91,11 @@ pub fn run_experiment(name: &str, fast: bool) -> String {
         name if name.starts_with("compare-") => {
             fig11_13::run(name.trim_start_matches("compare-"), fast)
         }
+        // `validate-<network>`: event-vs-analytic cross-check of every
+        // layer of any zoo network (the default `validate` covers AlexNet).
+        name if name.starts_with("validate-") => {
+            validate::run_network(name.trim_start_matches("validate-"), fast)
+        }
         other => panic!("unknown experiment {other}; known: {EXPERIMENTS:?}"),
     }
 }

@@ -177,12 +177,28 @@ pub struct PolicyKey {
     first_layer: u8,
 }
 
+/// Canonical bit pattern of an `f64` for cache keying: `-0.0` folds onto
+/// `0.0` (they compare equal, so raw `to_bits` would split one policy
+/// across two cache slots and double the synthesis work) and every NaN
+/// payload folds onto the canonical quiet NaN (raw bits would make equal-
+/// looking NaN policies miss each other — and `extract` treats them
+/// identically anyway).
+fn canonical_f64_bits(v: f64) -> u64 {
+    if v == 0.0 {
+        0
+    } else if v.is_nan() {
+        0x7ff8_0000_0000_0000
+    } else {
+        v.to_bits()
+    }
+}
+
 impl From<&QuantPolicy> for PolicyKey {
     fn from(p: &QuantPolicy) -> Self {
         PolicyKey {
             mode_bits: p.mode.bits(),
             low_bits: p.low_bits,
-            ratio_bits: p.outlier_ratio.to_bits(),
+            ratio_bits: canonical_f64_bits(p.outlier_ratio),
             first_layer: match p.first_layer {
                 FirstLayerPolicy::RawActs => 0,
                 FirstLayerPolicy::RawActsWideWeights => 1,
@@ -403,6 +419,28 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.workload_misses, 1);
         assert_eq!(s.workload_hits, 1);
+    }
+
+    #[test]
+    fn equal_policies_share_a_cache_slot_despite_f64_bit_noise() {
+        // -0.0 == 0.0: one policy, one slot, one extraction.
+        let mut a = QuantPolicy::olaccel16("alexnet");
+        let mut b = a;
+        a.outlier_ratio = 0.0;
+        b.outlier_ratio = -0.0;
+        assert_eq!(PolicyKey::from(&a), PolicyKey::from(&b));
+
+        let cache = PrepCache::new();
+        let prep = cache.prepared("alexnet", 8, DEFAULT_SEED);
+        let w_a = cache.workloads_for(&prep, &a);
+        let w_b = cache.workloads_for(&prep, &b);
+        assert!(Arc::ptr_eq(&w_a, &w_b), "-0.0 and 0.0 split the cache");
+        assert_eq!(cache.stats().workload_misses, 1);
+
+        // Any NaN source folds onto one canonical slot too.
+        a.outlier_ratio = f64::NAN;
+        b.outlier_ratio = -f64::NAN;
+        assert_eq!(PolicyKey::from(&a), PolicyKey::from(&b));
     }
 
     #[test]

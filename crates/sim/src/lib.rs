@@ -13,6 +13,7 @@
 //! cycles, an energy breakdown and a utilization decomposition, which the
 //! harness turns into the paper's figures.
 
+pub mod par;
 pub mod policy;
 pub mod result;
 pub mod traffic;

@@ -20,6 +20,16 @@ impl Utilization {
         self.run_cycles + self.skip_cycles + self.idle_cycles
     }
 
+    /// The cycle conservation law (DESIGN.md §5): an *aggregate*
+    /// decomposition over `groups` PE groups that each observed `cycles`
+    /// wall-clock cycles is lossless exactly when
+    /// `run + skip + idle == cycles * groups` in exact integer arithmetic —
+    /// every group cycle is accounted as productive work, skip-scan
+    /// overhead, or idling, with nothing lost to rounding.
+    pub fn is_conserved(&self, cycles: u64, groups: u64) -> bool {
+        self.total() == cycles * groups
+    }
+
     /// Adds another decomposition.
     pub fn add(&mut self, other: &Utilization) {
         self.run_cycles += other.run_cycles;
@@ -117,5 +127,19 @@ mod tests {
             idle_cycles: 2,
         };
         assert_eq!(u.total(), 10);
+    }
+
+    #[test]
+    fn conservation_is_exact() {
+        let u = Utilization {
+            run_cycles: 7,
+            skip_cycles: 2,
+            idle_cycles: 3,
+        };
+        // 12 accounted group-cycles: conserved only for cycles*groups == 12.
+        assert!(u.is_conserved(4, 3));
+        assert!(u.is_conserved(12, 1));
+        assert!(!u.is_conserved(4, 2));
+        assert!(!u.is_conserved(5, 3));
     }
 }
