@@ -8,8 +8,11 @@
 //!             extra-resnet101 extra-densenet121 compare-<network>
 //!             all (default)
 //! --fast      reduced spatial scale / training budget (CI-friendly)
-//! --jobs N    worker threads (default: available parallelism; 1 = serial)
+//! --jobs N    worker threads (default: available parallelism; 1 = serial).
+//!             Shared between concurrent experiments and the per-forward
+//!             compute kernels of `ola-nn::kernels`.
 //! --out DIR   additionally write each report to DIR/<experiment>.txt
+//! --help      print this help
 //! ```
 //!
 //! Experiments run concurrently on a work queue; reports stream to stdout
@@ -21,6 +24,20 @@
 use std::fs;
 use std::path::PathBuf;
 use std::process::exit;
+
+const USAGE: &str = "\
+olaccel-repro [EXPERIMENT]... [--fast] [--jobs N] [--out DIR]
+
+EXPERIMENT  fig1 fig2 fig3 table1 fig11 fig12 fig13 fig14 fig15 fig16
+            fig17 fig18 fig19 validate validate-<network>
+            extra-resnet101 extra-densenet121 compare-<network>
+            all (default)
+--fast      reduced spatial scale / training budget (CI-friendly)
+--jobs N    worker threads (default: available parallelism; 1 = serial).
+            The budget is shared between concurrent experiments and the
+            per-forward compute kernels; output is byte-identical at any N.
+--out DIR   additionally write each report to DIR/<experiment>.txt
+--help      print this help";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -37,6 +54,10 @@ fn main() {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
             "--fast" => {}
             "--out" => {
                 let dir = it

@@ -124,6 +124,14 @@ where
     if let Some(bad) = names.iter().find(|n| !is_known_experiment(n)) {
         panic!("unknown experiment {bad}; known: {:?}", crate::EXPERIMENTS);
     }
+    // Split the worker budget between the experiment level and the
+    // per-forward kernel level so the two never oversubscribe the machine:
+    // a single experiment gets the whole budget for its forward passes,
+    // while a wide suite keeps kernels serial inside each worker. Forward
+    // results are bit-identical at any worker count, so this only shifts
+    // where the parallelism lives, never what is computed.
+    let outer = jobs.min(names.len().max(1));
+    ola_nn::kernels::set_forward_jobs((jobs / outer).max(1));
     let start = Instant::now();
     let stats_before = PrepCache::global().stats();
     let cursor = AtomicUsize::new(0);

@@ -23,6 +23,7 @@
 //! assert!(net.conv_layer_count() >= 5);
 //! ```
 
+pub mod kernels;
 pub mod layer;
 pub mod network;
 pub mod synth;

@@ -268,11 +268,43 @@ pub type Activations = Vec<Tensor>;
 impl Network {
     /// Runs full-precision inference, returning every node's output.
     ///
+    /// Compute nodes execute on the tiled im2col kernels of
+    /// [`crate::kernels`] with the process-wide default worker count
+    /// ([`crate::kernels::forward_jobs`], default 1); results are
+    /// bit-identical to [`Network::forward_naive`] at any worker count.
+    ///
     /// # Panics
     ///
     /// Panics if `input` does not match [`Network::input_shape`] (batch size
     /// may differ), or a compute node is missing weights.
     pub fn forward(&self, params: &Params, input: &Tensor) -> Activations {
+        self.forward_with_jobs(params, input, crate::kernels::forward_jobs())
+    }
+
+    /// Runs full-precision inference with an explicit kernel worker count.
+    ///
+    /// # Panics
+    ///
+    /// As [`Network::forward`], plus if `jobs` is zero.
+    pub fn forward_with_jobs(&self, params: &Params, input: &Tensor, jobs: usize) -> Activations {
+        self.forward_impl(params, input, Some(jobs))
+    }
+
+    /// Runs full-precision inference on the naive reference kernels.
+    ///
+    /// This is the oracle path the fast kernels are property-tested
+    /// against (and the baseline the `prep_forward` bench compares to);
+    /// production code should call [`Network::forward`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Network::forward`].
+    pub fn forward_naive(&self, params: &Params, input: &Tensor) -> Activations {
+        self.forward_impl(params, input, None)
+    }
+
+    /// Shared graph walk; `jobs` of `None` selects the naive kernels.
+    fn forward_impl(&self, params: &Params, input: &Tensor, jobs: Option<usize>) -> Activations {
         let is = input.shape();
         assert_eq!(
             (is.c, is.h, is.w),
@@ -287,26 +319,33 @@ impl Network {
                     let x = &outs[node.inputs[0]];
                     let w = params.dense_weights(id);
                     let b = params.biases[id].as_deref();
-                    if spec.groups == 1 {
-                        conv2d(x, w, b, spec.geometry.stride, spec.geometry.pad)
-                    } else {
-                        conv2d_grouped(
-                            x,
-                            w,
-                            b,
-                            spec.geometry.stride,
-                            spec.geometry.pad,
-                            spec.groups,
-                        )
+                    let (stride, pad) = (spec.geometry.stride, spec.geometry.pad);
+                    match (jobs, spec.groups) {
+                        (None, 1) => conv2d(x, w, b, stride, pad),
+                        (None, g) => conv2d_grouped(x, w, b, stride, pad, g),
+                        (Some(j), 1) => crate::kernels::conv2d_fast(x, w, b, stride, pad, j),
+                        (Some(j), g) => {
+                            crate::kernels::conv2d_grouped_fast(x, w, b, stride, pad, g, j)
+                        }
                     }
                 }
                 Op::Linear(spec) => {
                     let x = &outs[node.inputs[0]];
                     let b = params.biases[id].as_deref();
-                    match params.weights(id) {
-                        Some(WeightStore::Dense(w)) => linear_dense(x, w, b, spec.out_features),
-                        Some(WeightStore::RowGen(g)) => linear_rowgen(x, g, b, spec.out_features),
-                        None => panic!("linear node {} has no weights", node.name),
+                    match (jobs, params.weights(id)) {
+                        (None, Some(WeightStore::Dense(w))) => {
+                            linear_dense(x, w, b, spec.out_features)
+                        }
+                        (None, Some(WeightStore::RowGen(g))) => {
+                            linear_rowgen(x, g, b, spec.out_features)
+                        }
+                        (Some(j), Some(WeightStore::Dense(w))) => {
+                            crate::kernels::linear_fast(x, w, b, spec.out_features, j)
+                        }
+                        (Some(j), Some(WeightStore::RowGen(g))) => {
+                            crate::kernels::linear_rowgen_fast(x, g, b, spec.out_features, j)
+                        }
+                        (_, None) => panic!("linear node {} has no weights", node.name),
                     }
                 }
                 Op::ReLU => {
@@ -346,7 +385,9 @@ impl Network {
     }
 }
 
-/// Naive direct 2-D convolution (NCHW x OIHW).
+/// Naive direct 2-D convolution (NCHW x OIHW) — the oracle for
+/// [`crate::kernels::conv2d_fast`]. Accumulates each output element in
+/// `(ic, ky, kx)` order, the reduction order the fast kernels preserve.
 pub fn conv2d(x: &Tensor, w: &Tensor, bias: Option<&[f32]>, stride: usize, pad: usize) -> Tensor {
     let xs = x.shape();
     let ws = w.shape();
@@ -420,43 +461,37 @@ pub fn conv2d_grouped(
     .output_hw(xs.h, xs.w);
     let mut out = Tensor::zeros(Shape4::new(xs.n, ws.n, oh, ow));
     for g in 0..groups {
-        // Slice input channels for this group.
+        // Gather this group's input/weight slices once (contiguous plane
+        // copies), run the dense reference on them, and scatter the result
+        // back — the per-element re-gathering this loop used to do made
+        // the oracle itself quadratic in channel count.
         let mut xg = Tensor::zeros(Shape4::new(xs.n, cig, xs.h, xs.w));
         for n in 0..xs.n {
             for c in 0..cig {
-                for h in 0..xs.h {
-                    for wx in 0..xs.w {
-                        xg.set(n, c, h, wx, x.get(n, g * cig + c, h, wx));
-                    }
-                }
+                xg.plane_mut(n, c).copy_from_slice(x.plane(n, g * cig + c));
             }
         }
         let mut wg = Tensor::zeros(Shape4::new(cog, cig, k, k));
+        let row = cig * k * k;
         for oc in 0..cog {
-            for c in 0..cig {
-                for kh in 0..k {
-                    for kw in 0..k {
-                        wg.set(oc, c, kh, kw, w.get(g * cog + oc, c, kh, kw));
-                    }
-                }
-            }
+            wg.as_mut_slice()[oc * row..(oc + 1) * row]
+                .copy_from_slice(&w.as_slice()[(g * cog + oc) * row..(g * cog + oc + 1) * row]);
         }
-        let bg: Option<Vec<f32>> = bias.map(|b| b[g * cog..(g + 1) * cog].to_vec());
-        let og = conv2d(&xg, &wg, bg.as_deref(), stride, pad);
+        let bg: Option<&[f32]> = bias.map(|b| &b[g * cog..(g + 1) * cog]);
+        let og = conv2d(&xg, &wg, bg, stride, pad);
         for n in 0..xs.n {
             for oc in 0..cog {
-                for h in 0..oh {
-                    for wx in 0..ow {
-                        out.set(n, g * cog + oc, h, wx, og.get(n, oc, h, wx));
-                    }
-                }
+                out.plane_mut(n, g * cog + oc)
+                    .copy_from_slice(og.plane(n, oc));
             }
         }
     }
     out
 }
 
-fn linear_dense(x: &Tensor, w: &Tensor, bias: Option<&[f32]>, out_features: usize) -> Tensor {
+/// Naive dense linear layer (the oracle for
+/// [`crate::kernels::linear_fast`]).
+pub fn linear_dense(x: &Tensor, w: &Tensor, bias: Option<&[f32]>, out_features: usize) -> Tensor {
     let xs = x.shape();
     let in_features = xs.c * xs.h * xs.w;
     assert_eq!(w.len(), in_features * out_features, "weight size mismatch");
@@ -478,7 +513,9 @@ fn linear_dense(x: &Tensor, w: &Tensor, bias: Option<&[f32]>, out_features: usiz
     out
 }
 
-fn linear_rowgen(
+/// Naive row-generated linear layer (the oracle for
+/// [`crate::kernels::linear_rowgen_fast`]).
+pub fn linear_rowgen(
     x: &Tensor,
     gen: &SyntheticMatrix,
     bias: Option<&[f32]>,
@@ -741,6 +778,49 @@ mod tests {
     fn bad_input_order_panics() {
         let mut net = Network::new("t", Shape4::new(1, 1, 1, 1));
         net.add("x", Op::ReLU, &[5]);
+    }
+
+    #[test]
+    fn forward_and_forward_naive_agree_bitwise() {
+        use ola_tensor::init::{gaussian_tensor, uniform_tensor};
+        let mut net = Network::new("t", Shape4::new(1, 3, 8, 8));
+        let c1 = net.add(
+            "conv1",
+            Op::Conv(Conv2dSpec::new(3, 6, ConvGeometry::new(3, 1, 1))),
+            &[0],
+        );
+        let r = net.add("relu", Op::ReLU, &[c1]);
+        let c2 = net.add(
+            "conv2",
+            Op::Conv(Conv2dSpec::with_groups(6, 4, ConvGeometry::new(3, 2, 1), 2)),
+            &[r],
+        );
+        let f = net.add("fc", Op::Linear(LinearSpec::new(4 * 4 * 4, 5)), &[c2]);
+        let mut params = Params::for_network(&net);
+        params.set_weights(
+            c1,
+            WeightStore::Dense(gaussian_tensor(Shape4::new(6, 3, 3, 3), 0.5, 1)),
+        );
+        params.set_bias(c1, (0..6).map(|i| i as f32 * 0.1).collect());
+        params.set_weights(
+            c2,
+            WeightStore::Dense(gaussian_tensor(Shape4::new(4, 3, 3, 3), 0.5, 2)),
+        );
+        params.set_weights(
+            f,
+            WeightStore::Dense(gaussian_tensor(Shape4::new(1, 1, 5, 64), 0.5, 3)),
+        );
+        let input = uniform_tensor(Shape4::new(1, 3, 8, 8), -1.0, 1.0, 4);
+        let naive = net.forward_naive(&params, &input);
+        for jobs in [1, 3] {
+            let fast = net.forward_with_jobs(&params, &input, jobs);
+            assert_eq!(naive.len(), fast.len());
+            for (a, b) in naive.iter().zip(&fast) {
+                let ab: Vec<u32> = a.as_slice().iter().map(|v| v.to_bits()).collect();
+                let bb: Vec<u32> = b.as_slice().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(ab, bb);
+            }
+        }
     }
 
     #[test]

@@ -86,19 +86,7 @@ impl SyntheticMatrix {
             *v = self.dist.sample(&mut rng);
         }
         if self.sparsity > 0.0 {
-            let k = (self.cols as f64 * self.sparsity).round() as usize;
-            if k > 0 {
-                let mut order: Vec<usize> = (0..self.cols).collect();
-                order.sort_by(|&a, &b| {
-                    row[a]
-                        .abs()
-                        .partial_cmp(&row[b].abs())
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
-                for &j in order.iter().take(k) {
-                    row[j] = 0.0;
-                }
-            }
+            prune_k_smallest(row, self.sparsity);
         }
     }
 
@@ -122,6 +110,33 @@ impl SyntheticMatrix {
             out.extend_from_slice(&row);
         }
         out
+    }
+}
+
+/// Zeroes the `round(len * sparsity)` smallest-magnitude entries of `row`.
+///
+/// O(n) selection replacing the original full stable sort. The
+/// (|v|, index) key is a tie-free total order whose first k elements are
+/// exactly what the stable sort by |v| produced (stable ties resolve by
+/// index), so the zeroed set — and therefore every generated row — is
+/// bit-identical to the sort-based implementation. `total_cmp` and
+/// `partial_cmp` agree here: samples are finite and `abs()` never
+/// yields -0.0.
+fn prune_k_smallest(row: &mut [f32], sparsity: f64) {
+    let k = (row.len() as f64 * sparsity).round() as usize;
+    if k >= row.len() {
+        row.fill(0.0);
+    } else if k > 0 {
+        let mut order: Vec<u32> = (0..row.len() as u32).collect();
+        order.select_nth_unstable_by(k - 1, |&a, &b| {
+            row[a as usize]
+                .abs()
+                .total_cmp(&row[b as usize].abs())
+                .then(a.cmp(&b))
+        });
+        for &j in &order[..k] {
+            row[j as usize] = 0.0;
+        }
     }
 }
 
@@ -567,6 +582,64 @@ mod tests {
                 (m - t).abs() < 0.08,
                 "layer {li}: measured {m} vs target {t}"
             );
+        }
+    }
+
+    /// Pins the O(n) selection in `fill_row` to the semantics of the original
+    /// stable-sort pruning: zero the k smallest-|v| entries, ties broken by
+    /// lowest index. Ties are exercised explicitly — the equal-|v| case is
+    /// where an unstable selection could silently diverge.
+    #[test]
+    fn fill_row_prune_matches_stable_sort_reference() {
+        fn reference_prune(row: &mut [f32], sparsity: f64) {
+            let k = (row.len() as f64 * sparsity).round() as usize;
+            let mut order: Vec<usize> = (0..row.len()).collect();
+            order.sort_by(|&a, &b| {
+                row[a]
+                    .abs()
+                    .partial_cmp(&row[b].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for &j in order.iter().take(k) {
+                row[j] = 0.0;
+            }
+        }
+        for (cols, sparsity, seed) in [
+            (1usize, 0.6, 1u64),
+            (7, 0.5, 2),
+            (64, 0.91, 3),
+            (64, 1.0, 4),
+            (257, 0.62, 5),
+            (1024, 0.91, 6),
+        ] {
+            let pruned = SyntheticMatrix::new(3, cols, HeavyTailed::default(), sparsity, seed);
+            let raw = SyntheticMatrix::new(3, cols, HeavyTailed::default(), 0.0, seed);
+            for i in 0..3 {
+                let mut expect = raw.row(i);
+                // Inject |v| ties (including against an equal-magnitude pair
+                // of opposite signs) before pruning both ways.
+                if cols >= 8 {
+                    expect[1] = 0.01;
+                    expect[5] = -0.01;
+                    expect[6] = 0.01;
+                }
+                let mut got = expect.clone();
+                reference_prune(&mut expect, sparsity);
+                // Apply the production selection path to `got` via a matrix
+                // whose sampled row is substituted: easiest to call the
+                // private logic through fill_row only when no values were
+                // injected; with injections, replicate by pruning in place.
+                if cols >= 8 {
+                    prune_k_smallest(&mut got, sparsity);
+                } else {
+                    got = pruned.row(i);
+                }
+                assert_eq!(
+                    expect.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "cols={cols} sparsity={sparsity} row={i}"
+                );
+            }
         }
     }
 

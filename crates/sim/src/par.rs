@@ -1,101 +1,15 @@
-//! Deterministic intra-experiment parallelism.
+//! Deterministic intra-experiment parallelism (re-exported).
 //!
-//! [`ordered_map`] is the layer-level sibling of the experiment-level work
-//! queue in `ola-harness::engine`: `jobs` scoped worker threads (std only)
-//! pull item indices from a shared atomic cursor, and the results come back
-//! **in item order** no matter which worker computed what. Because each
-//! output slot is a pure function of its input item, the returned vector is
-//! byte-identical at any worker count — the same determinism contract the
-//! experiment engine gives per-report, applied per-layer.
+//! The work-queue primitive used to live here; it moved to
+//! [`ola_tensor::par`] — the root of the crate graph — so the f32 compute
+//! kernels in `ola-nn::kernels` (which `ola-sim` depends on, not the other
+//! way around) can split convolution row-tiles across the same scoped
+//! worker machinery. This module re-exports it unchanged for the
+//! accelerator models and the harness engine, which address it as
+//! `ola_sim::par`.
 //!
-//! The accelerator models use it to simulate a network's layers in
-//! parallel (layers are independent given a `WorkloadSet`), which is what
-//! lets the detailed event-driven path in `ola-core::event` cover every
-//! layer of a network instead of a sample.
+//! The determinism contract is unchanged: [`ordered_map`] returns results
+//! in item order, byte-identical at any worker count, because every output
+//! slot is a pure function of its input item.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Default worker count: the machine's available parallelism.
-pub fn default_jobs() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
-/// Applies `f` to every item of `items` across `jobs` worker threads and
-/// returns the results in item order.
-///
-/// `f` receives `(index, &item)` so callers can key per-item work (seeds,
-/// labels) off the stable index rather than the scheduling order. With
-/// `jobs == 1` (or one item) the work runs inline on the calling thread
-/// with no synchronization.
-///
-/// # Panics
-///
-/// Panics if `jobs` is zero, and propagates the first panic raised inside
-/// `f` once all workers have been joined.
-pub fn ordered_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    assert!(jobs > 0, "ordered_map needs at least one worker");
-    if jobs == 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs.min(items.len()) {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                *slots[i].lock().unwrap() = Some(f(i, item));
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().unwrap().expect("every slot filled"))
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_item_order() {
-        let items: Vec<u64> = (0..100).collect();
-        for jobs in [1, 2, 7] {
-            let out = ordered_map(&items, jobs, |i, &v| (i as u64, v * 2));
-            assert_eq!(out.len(), 100);
-            for (i, (idx, doubled)) in out.iter().enumerate() {
-                assert_eq!(*idx, i as u64);
-                assert_eq!(*doubled, 2 * i as u64);
-            }
-        }
-    }
-
-    #[test]
-    fn identical_across_worker_counts() {
-        let items: Vec<u32> = (0..37).map(|i| i * 13 % 7).collect();
-        let serial = ordered_map(&items, 1, |i, &v| v as u64 + i as u64);
-        let parallel = ordered_map(&items, 8, |i, &v| v as u64 + i as u64);
-        assert_eq!(serial, parallel);
-    }
-
-    #[test]
-    fn empty_input_is_fine() {
-        let out: Vec<u8> = ordered_map(&[] as &[u8], 4, |_, &v| v);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_jobs_rejected() {
-        let _ = ordered_map(&[1u8], 0, |_, &v| v);
-    }
-}
+pub use ola_tensor::par::{default_jobs, ordered_map};

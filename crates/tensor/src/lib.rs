@@ -20,6 +20,7 @@
 
 pub mod chunk;
 pub mod init;
+pub mod par;
 pub mod shape;
 pub mod stats;
 mod tensor;

@@ -90,6 +90,56 @@ impl Tensor {
         &self.data
     }
 
+    /// Contiguous spatial row `(n, c, h, 0..w)` as a slice.
+    ///
+    /// The compute kernels (`ola-nn::kernels`) gather im2col patches with
+    /// row-granularity `copy_from_slice` instead of per-element `get`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n`, `c` or `h` is out of bounds.
+    #[inline]
+    pub fn row(&self, n: usize, c: usize, h: usize) -> &[f32] {
+        let start = self.shape.index(n, c, h, 0);
+        &self.data[start..start + self.shape.w]
+    }
+
+    /// Mutable view of spatial row `(n, c, h, 0..w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n`, `c` or `h` is out of bounds.
+    #[inline]
+    pub fn row_mut(&mut self, n: usize, c: usize, h: usize) -> &mut [f32] {
+        let start = self.shape.index(n, c, h, 0);
+        let w = self.shape.w;
+        &mut self.data[start..start + w]
+    }
+
+    /// Contiguous channel plane `(n, c, 0..h, 0..w)` as a slice of `h * w`
+    /// values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `c` is out of bounds.
+    #[inline]
+    pub fn plane(&self, n: usize, c: usize) -> &[f32] {
+        let start = self.shape.index(n, c, 0, 0);
+        &self.data[start..start + self.shape.h * self.shape.w]
+    }
+
+    /// Mutable view of channel plane `(n, c, 0..h, 0..w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `c` is out of bounds.
+    #[inline]
+    pub fn plane_mut(&mut self, n: usize, c: usize) -> &mut [f32] {
+        let start = self.shape.index(n, c, 0, 0);
+        let hw = self.shape.h * self.shape.w;
+        &mut self.data[start..start + hw]
+    }
+
     /// Mutably borrow the raw buffer.
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
         &mut self.data
@@ -176,6 +226,21 @@ mod tests {
     fn abs_max_handles_negatives() {
         let t = Tensor::from_vec(Shape4::new(1, 1, 1, 3), vec![0.5, -4.0, 2.0]);
         assert_eq!(t.abs_max(), 4.0);
+    }
+
+    #[test]
+    fn row_and_plane_views_are_contiguous() {
+        let data: Vec<f32> = (0..24).map(|i| i as f32).collect();
+        let mut t = Tensor::from_vec(Shape4::new(1, 2, 3, 4), data);
+        assert_eq!(t.row(0, 1, 2), &[20.0, 21.0, 22.0, 23.0]);
+        assert_eq!(
+            t.plane(0, 0),
+            &(0..12).map(|i| i as f32).collect::<Vec<_>>()[..]
+        );
+        t.row_mut(0, 0, 1).copy_from_slice(&[9.0; 4]);
+        assert_eq!(t.get(0, 0, 1, 3), 9.0);
+        t.plane_mut(0, 1).fill(0.0);
+        assert_eq!(t.plane(0, 1), &[0.0; 12]);
     }
 
     #[test]
