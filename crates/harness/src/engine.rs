@@ -16,6 +16,7 @@
 //! one broken figure doesn't strand the queue mid-run.
 
 use crate::prep::{CacheStats, PrepCache};
+use crate::timing::{self, PhaseStats};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -44,6 +45,9 @@ pub struct SuiteResult {
     pub total_wall: Duration,
     /// Preparation-cache counters accumulated during the run.
     pub cache: CacheStats,
+    /// Per-phase wall time accumulated during the run (summed across
+    /// workers, so comparable to [`SuiteResult::busy`], not `total_wall`).
+    pub phases: PhaseStats,
 }
 
 impl SuiteResult {
@@ -75,6 +79,8 @@ impl SuiteResult {
             self.jobs,
             self.busy().as_secs_f64() / self.total_wall.as_secs_f64().max(1e-9),
         ));
+        out.push_str(&self.phases.render(self.busy()));
+        out.push('\n');
         out.push_str(&self.cache.render());
         out.push('\n');
         out
@@ -131,9 +137,12 @@ where
     // results are bit-identical at any worker count, so this only shifts
     // where the parallelism lives, never what is computed.
     let outer = jobs.min(names.len().max(1));
-    ola_nn::kernels::set_forward_jobs((jobs / outer).max(1));
+    let inner = (jobs / outer).max(1);
+    ola_nn::kernels::set_forward_jobs(inner);
+    ola_sim::workload::set_extract_jobs(inner);
     let start = Instant::now();
     let stats_before = PrepCache::global().stats();
+    let phases_before = timing::snapshot();
     let cursor = AtomicUsize::new(0);
     let slots = Slots {
         done: Mutex::new((0..names.len()).map(|_| None).collect()),
@@ -184,6 +193,7 @@ where
             workload_hits: stats_after.workload_hits - stats_before.workload_hits,
             workload_misses: stats_after.workload_misses - stats_before.workload_misses,
         },
+        phases: timing::snapshot().since(&phases_before),
         outcomes,
     };
     if let Some(failed) = result.outcomes.iter().find(|o| o.report.is_err()) {
@@ -248,6 +258,8 @@ mod tests {
         let s = result.summary();
         assert!(s.contains("table1"));
         assert!(s.contains("fig17"));
+        assert!(s.contains("phases: synthesize"));
+        assert!(s.contains("model+report"));
         assert!(s.contains("prepared networks"));
         assert!(s.contains("workload sets"));
     }

@@ -33,6 +33,7 @@ pub mod report;
 pub mod sensitivity;
 pub mod summary;
 pub mod table1;
+pub mod timing;
 pub mod validate;
 
 /// All experiment names the binary accepts, in paper order, plus the

@@ -19,6 +19,7 @@
 //! [`Prepared::with_seed`]), never from global state, which is what makes
 //! the memoization sound.
 
+use crate::timing;
 use ola_baselines::{EyerissSim, ZenaSim};
 use ola_core::OlAccelSim;
 use ola_energy::{ComparisonMode, TechParams};
@@ -94,28 +95,31 @@ impl Prepared {
     /// historical streams exactly, and any other seed yields an independent
     /// but equally deterministic preparation).
     pub fn with_seed(network: &str, scale: usize, seed: u64) -> Self {
-        let cfg = ZooConfig {
-            spatial_scale: scale,
-            include_classifier: true,
-            batch: 1,
-        };
-        let net = zoo::by_name(network, &cfg);
-        let synth_cfg = SynthConfig::for_network_seeded(network, seed ^ DEFAULT_SEED);
-        let mut params = ola_nn::synth::synthesize_params(&net, &synth_cfg);
-        let input = uniform_tensor(
-            net.input_shape(),
-            -1.0,
-            1.0,
-            seed.wrapping_add(scale as u64),
-        );
-        shape_activation_sparsity(
-            &net,
-            &mut params,
-            &input,
-            |li| activation_sparsity_target(network, li),
-            2,
-        );
-        let acts = net.forward(&params, &input);
+        let (net, params, input) = timing::timed(timing::Phase::Synthesize, || {
+            let cfg = ZooConfig {
+                spatial_scale: scale,
+                include_classifier: true,
+                batch: 1,
+            };
+            let net = zoo::by_name(network, &cfg);
+            let synth_cfg = SynthConfig::for_network_seeded(network, seed ^ DEFAULT_SEED);
+            let mut params = ola_nn::synth::synthesize_params(&net, &synth_cfg);
+            let input = uniform_tensor(
+                net.input_shape(),
+                -1.0,
+                1.0,
+                seed.wrapping_add(scale as u64),
+            );
+            shape_activation_sparsity(
+                &net,
+                &mut params,
+                &input,
+                |li| activation_sparsity_target(network, li),
+                2,
+            );
+            (net, params, input)
+        });
+        let acts = timing::timed(timing::Phase::Forward, || net.forward(&params, &input));
         Prepared {
             net,
             params,
@@ -142,7 +146,9 @@ impl Prepared {
 
     /// Uncached workload extraction under `policy`.
     pub fn extract(&self, policy: &QuantPolicy) -> WorkloadSet {
-        extract_from_acts(&self.net, &self.params, &self.acts, policy)
+        timing::timed(timing::Phase::Extract, || {
+            extract_from_acts(&self.net, &self.params, &self.acts, policy)
+        })
     }
 
     /// Workloads under the paper's standard OLAccel16 / OLAccel8 policies.

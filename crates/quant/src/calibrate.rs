@@ -8,7 +8,9 @@
 
 use crate::outlier::OutlierQuantizer;
 use ola_nn::{Network, NodeId, Params};
-use ola_tensor::stats::magnitude_threshold;
+use ola_tensor::par::ordered_map;
+use ola_tensor::scan::scan_values;
+use ola_tensor::stats::ValueScan;
 use ola_tensor::Tensor;
 
 /// Calibration result for the input activations of one compute layer.
@@ -66,29 +68,42 @@ pub fn calibrate_activations(
             collected[k].extend_from_slice(outs[src].as_slice());
         }
     }
-    compute
-        .iter()
-        .zip(collected)
-        .map(|(&node, values)| calibrate_values(node, &values, ratio))
-        .collect()
+    // One fused statistics pass per layer, layers in parallel. The split of
+    // the worker budget mirrors the forward kernels: as many layers at once
+    // as the budget allows, leftover workers scan within a layer.
+    let jobs = ola_nn::kernels::forward_jobs();
+    let outer = jobs.min(compute.len().max(1));
+    let inner = (jobs / outer).max(1);
+    let items: Vec<(NodeId, Vec<f32>)> = compute.iter().copied().zip(collected).collect();
+    ordered_map(&items, outer, |_, (node, values)| {
+        let mut scan = scan_values(values, inner);
+        calibrate_from_scan(*node, &mut scan, ratio)
+    })
 }
 
 /// Calibrates a threshold directly from a value population.
 pub fn calibrate_values(node: NodeId, values: &[f32], ratio: f64) -> LayerCalibration {
-    let total = values.len().max(1);
-    let nonzero: Vec<f32> = values.iter().copied().filter(|&v| v != 0.0).collect();
-    let zero_fraction = 1.0 - nonzero.len() as f64 / total as f64;
-    let abs_max = nonzero.iter().fold(0.0_f32, |m, &v| m.max(v.abs()));
-    let threshold = if nonzero.is_empty() {
-        f32::INFINITY
-    } else {
-        magnitude_threshold(&nonzero, ratio)
-    };
-    let outliers = nonzero.iter().filter(|&&v| v.abs() >= threshold).count();
-    let nonzero_outlier_ratio = if nonzero.is_empty() {
+    let mut scan = ValueScan::new();
+    scan.extend_slice(values);
+    calibrate_from_scan(node, &mut scan, ratio)
+}
+
+/// Calibrates a threshold from an already-computed statistics scan — the
+/// fused extraction path lands here after one pass over the activations.
+///
+/// Bit-identical to the historical multi-pass `calibrate_values` (filter
+/// non-zeros, fold the max, sort for the threshold, re-count outliers):
+/// every quantity below is the same reduction over the same population.
+pub fn calibrate_from_scan(node: NodeId, scan: &mut ValueScan, ratio: f64) -> LayerCalibration {
+    let total = scan.total().max(1);
+    let zero_fraction = scan.zero_fraction();
+    let abs_max = scan.abs_max();
+    let threshold = scan.threshold(ratio);
+    let outliers = scan.count_at_least(threshold);
+    let nonzero_outlier_ratio = if scan.nonzero() == 0 {
         0.0
     } else {
-        outliers as f64 / nonzero.len() as f64
+        outliers as f64 / scan.nonzero() as f64
     };
     LayerCalibration {
         node,
@@ -106,6 +121,76 @@ mod tests {
     use ola_nn::synth::{synthesize_params, SynthConfig};
     use ola_nn::zoo::{self, ZooConfig};
     use ola_tensor::init::uniform_tensor;
+
+    /// The pre-fusion multi-pass implementation, kept verbatim as an
+    /// oracle: filter the non-zeros, fold the max, sort for the threshold,
+    /// then re-count the outliers.
+    fn calibrate_values_oracle(node: NodeId, values: &[f32], ratio: f64) -> LayerCalibration {
+        use ola_tensor::stats::magnitude_threshold;
+        let total = values.len().max(1);
+        let nonzero: Vec<f32> = values.iter().copied().filter(|&v| v != 0.0).collect();
+        let zero_fraction = 1.0 - nonzero.len() as f64 / total as f64;
+        let abs_max = nonzero.iter().fold(0.0_f32, |m, &v| m.max(v.abs()));
+        let threshold = if nonzero.is_empty() {
+            f32::INFINITY
+        } else {
+            magnitude_threshold(&nonzero, ratio)
+        };
+        let outliers = nonzero.iter().filter(|&&v| v.abs() >= threshold).count();
+        let nonzero_outlier_ratio = if nonzero.is_empty() {
+            0.0
+        } else {
+            outliers as f64 / nonzero.len() as f64
+        };
+        LayerCalibration {
+            node,
+            threshold,
+            abs_max: if abs_max > 0.0 { abs_max } else { 1.0 },
+            nonzero_outlier_ratio,
+            effective_outlier_ratio: outliers as f64 / total as f64,
+            zero_fraction,
+        }
+    }
+
+    #[test]
+    fn fused_calibration_matches_multi_pass_oracle_bitwise() {
+        let mut state = 0x2545F4914F6CDD1D_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for (len, ratio) in [(0, 0.03), (1, 0.5), (1000, 0.0), (4097, 0.03), (4097, 1.0)] {
+            let values: Vec<f32> = (0..len)
+                .map(|_| {
+                    let r = next();
+                    if r % 3 == 0 {
+                        0.0
+                    } else {
+                        ((r % 2000) as f32 - 1000.0) / 250.0
+                    }
+                })
+                .collect();
+            let fused = calibrate_values(9, &values, ratio);
+            let oracle = calibrate_values_oracle(9, &values, ratio);
+            assert_eq!(fused.node, oracle.node);
+            assert_eq!(fused.threshold.to_bits(), oracle.threshold.to_bits());
+            assert_eq!(fused.abs_max.to_bits(), oracle.abs_max.to_bits());
+            assert_eq!(
+                fused.nonzero_outlier_ratio.to_bits(),
+                oracle.nonzero_outlier_ratio.to_bits()
+            );
+            assert_eq!(
+                fused.effective_outlier_ratio.to_bits(),
+                oracle.effective_outlier_ratio.to_bits()
+            );
+            assert_eq!(
+                fused.zero_fraction.to_bits(),
+                oracle.zero_fraction.to_bits()
+            );
+        }
+    }
 
     #[test]
     fn calibrate_values_targets_nonzero_ratio() {

@@ -6,13 +6,45 @@
 //! activation counts (zero skipping, Fig 18/19), weight-chunk outlier
 //! multiplicity (the outlier-MAC mechanism, Fig 17), and outlier activation
 //! ratios (the outlier PE group, Fig 16).
+//!
+//! Extraction is a layer-parallel, single-pass scan: each layer's
+//! calibration population, chunk non-zero counts and zero-quad counts come
+//! out of **one** chunk-major sweep over borrowed lane views
+//! ([`ola_tensor::scan::scan_chunks`]), and layers run concurrently under
+//! the worker budget set by [`set_extract_jobs`]. The result is
+//! byte-identical at any worker count (see [`oracle`] for the retained
+//! multi-pass reference implementation the property tests compare against).
 
 use crate::policy::QuantPolicy;
 use ola_nn::network::WeightStore;
 use ola_nn::{Network, Op, Params};
-use ola_quant::calibrate::{calibrate_values, LayerCalibration};
+use ola_quant::calibrate::{calibrate_from_scan, LayerCalibration};
 use ola_quant::outlier::OutlierQuantizer;
-use ola_tensor::{ChannelChunks, Shape4, Tensor, CHUNK_LANES};
+use ola_tensor::par::ordered_map;
+use ola_tensor::scan::{scan_chunks, scan_values, split_ranges};
+use ola_tensor::stats::ValueScan;
+use ola_tensor::{ChunkViews, Shape4, Tensor, CHUNK_LANES};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide default worker count for workload extraction, set once by
+/// the experiment engine from its `--jobs` split (mirrors
+/// `ola_nn::kernels::set_forward_jobs`).
+static EXTRACT_JOBS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the process-wide default extraction worker count.
+///
+/// # Panics
+///
+/// Panics if `jobs` is zero.
+pub fn set_extract_jobs(jobs: usize) {
+    assert!(jobs > 0, "extraction worker count must be positive");
+    EXTRACT_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// Current process-wide default extraction worker count.
+pub fn extract_jobs() -> usize {
+    EXTRACT_JOBS.load(Ordering::Relaxed)
+}
 
 /// Whether a layer is convolutional or fully connected.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -154,6 +186,32 @@ impl LayerWorkload {
     pub fn is_first(&self) -> bool {
         self.index == 0
     }
+
+    /// Field-by-field equality with floats compared by bit pattern — the
+    /// determinism contract parallel extraction is held to.
+    pub fn bitwise_eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.index == other.index
+            && self.kind == other.kind
+            && self.in_shape == other.in_shape
+            && self.out_shape == other.out_shape
+            && self.kernel == other.kernel
+            && self.macs == other.macs
+            && self.weight_count == other.weight_count
+            && self.weight_bits == other.weight_bits
+            && self.act_bits == other.act_bits
+            && self.weight_zero_fraction.to_bits() == other.weight_zero_fraction.to_bits()
+            && self.act_zero_fraction.to_bits() == other.act_zero_fraction.to_bits()
+            && self.weight_outlier_ratio.to_bits() == other.weight_outlier_ratio.to_bits()
+            && self.act_outlier_nonzero_ratio.to_bits() == other.act_outlier_nonzero_ratio.to_bits()
+            && self.act_effective_outlier_ratio.to_bits()
+                == other.act_effective_outlier_ratio.to_bits()
+            && self.chunk_nnz == other.chunk_nnz
+            && self.chunk_zero_quads == other.chunk_zero_quads
+            && self.wchunk_single_fraction.to_bits() == other.wchunk_single_fraction.to_bits()
+            && self.wchunk_multi_fraction.to_bits() == other.wchunk_multi_fraction.to_bits()
+            && self.out_zero_fraction.to_bits() == other.out_zero_fraction.to_bits()
+    }
 }
 
 /// All compute-layer workloads of one network under one policy.
@@ -177,6 +235,19 @@ impl WorkloadSet {
     pub fn conv_layers(&self) -> impl Iterator<Item = &LayerWorkload> {
         self.layers.iter().filter(|l| l.kind == LayerKind::Conv)
     }
+
+    /// Bit-pattern equality of every field of every layer (see
+    /// [`LayerWorkload::bitwise_eq`]).
+    pub fn bitwise_eq(&self, other: &Self) -> bool {
+        self.network == other.network
+            && self.policy == other.policy
+            && self.layers.len() == other.layers.len()
+            && self
+                .layers
+                .iter()
+                .zip(&other.layers)
+                .all(|(a, b)| a.bitwise_eq(b))
+    }
 }
 
 /// Extracts workloads by running `input` through the network, calibrating
@@ -194,93 +265,125 @@ pub fn extract(
 
 /// Like [`extract`], but reuses an existing forward pass — the expensive
 /// part — so several policies (16-bit and 8-bit modes, outlier-ratio
-/// sweeps) can share it.
+/// sweeps) can share it. Runs under the worker budget set by
+/// [`set_extract_jobs`].
 pub fn extract_from_acts(
     net: &Network,
     params: &Params,
     outs: &[Tensor],
     policy: &QuantPolicy,
 ) -> WorkloadSet {
+    extract_from_acts_jobs(net, params, outs, policy, extract_jobs())
+}
+
+/// [`extract_from_acts`] with an explicit worker budget: up to `jobs`
+/// layers extract concurrently, and any leftover budget splits the scans
+/// *within* a layer across chunk ranges. Byte-identical output at any
+/// `jobs` value.
+///
+/// # Panics
+///
+/// Panics if `jobs` is zero.
+pub fn extract_from_acts_jobs(
+    net: &Network,
+    params: &Params,
+    outs: &[Tensor],
+    policy: &QuantPolicy,
+    jobs: usize,
+) -> WorkloadSet {
+    assert!(jobs > 0, "extraction needs at least one worker");
     let shapes = net.shapes();
     let compute = net.compute_nodes();
-    let mut layers = Vec::with_capacity(compute.len());
-
-    for (index, &node) in compute.iter().enumerate() {
-        let n = &net.nodes()[node];
-        let src = n.inputs[0];
-        let act = &outs[src];
-        let (kind, kernel, macs, weight_count) = match n.op {
-            Op::Conv(spec) => {
-                let i = act.shape();
-                (
-                    LayerKind::Conv,
-                    spec.geometry.kernel,
-                    spec.macs(i.h, i.w),
-                    spec.weight_count(),
-                )
-            }
-            Op::Linear(spec) => (LayerKind::Fc, 1, spec.macs(), spec.weight_count()),
-            _ => unreachable!("compute_nodes returns only conv/linear"),
-        };
-
-        // --- input activation statistics ---
-        let cal: LayerCalibration = calibrate_values(node, act.as_slice(), policy.outlier_ratio);
-        let mut chunk_nnz = Vec::new();
-        let mut chunk_zero_quads = Vec::new();
-        for c in ChannelChunks::new(act, CHUNK_LANES) {
-            chunk_nnz.push(c.nonzero_count() as u8);
-            let zq = c
-                .values
-                .chunks(4)
-                .filter(|quad| quad.iter().all(|&v| v == 0.0))
-                .count() as u8;
-            chunk_zero_quads.push(zq);
-        }
-
-        // --- weight statistics ---
-        let wstats = weight_chunk_stats(params, node, policy.outlier_ratio);
-
-        // --- output zero fraction: use the post-ReLU view when a ReLU (or
-        //     BN+ReLU chain) directly consumes this node ---
-        let out_zero_fraction = post_activation_zero_fraction(net, outs, node);
-
-        let in_shape: Shape4 = if kind == LayerKind::Fc {
-            // FC consumes a flattened input: model as C = features, 1x1.
-            let s = act.shape();
-            Shape4::new(s.n, s.c * s.h * s.w, 1, 1)
-        } else {
-            act.shape()
-        };
-        let out_shape: Shape4 = shapes[node];
-
-        layers.push(LayerWorkload {
-            name: n.name.clone(),
-            index,
-            kind,
-            in_shape: in_shape.into(),
-            out_shape: out_shape.into(),
-            kernel,
-            macs,
-            weight_count: weight_count as u64,
-            weight_bits: policy.weight_bits(index),
-            act_bits: policy.act_bits(index),
-            weight_zero_fraction: wstats.zero_fraction,
-            act_zero_fraction: cal.zero_fraction,
-            weight_outlier_ratio: wstats.outlier_ratio,
-            act_outlier_nonzero_ratio: cal.nonzero_outlier_ratio,
-            act_effective_outlier_ratio: cal.effective_outlier_ratio,
-            chunk_nnz,
-            chunk_zero_quads,
-            wchunk_single_fraction: wstats.single_fraction,
-            wchunk_multi_fraction: wstats.multi_fraction,
-            out_zero_fraction,
-        });
-    }
-
+    let outer = jobs.min(compute.len().max(1));
+    let inner = (jobs / outer).max(1);
+    let layers = ordered_map(&compute, outer, |index, &node| {
+        extract_layer(net, params, outs, policy, &shapes, index, node, inner)
+    });
     WorkloadSet {
         network: net.name().to_string(),
         policy: *policy,
         layers,
+    }
+}
+
+/// Extracts one compute layer's workload: a single fused sweep over the
+/// input activations (calibration population + chunk non-zero counts +
+/// zero quads in one pass), a two-pass fused weight scan, and the output
+/// zero fraction.
+#[allow(clippy::too_many_arguments)]
+fn extract_layer(
+    net: &Network,
+    params: &Params,
+    outs: &[Tensor],
+    policy: &QuantPolicy,
+    shapes: &[Shape4],
+    index: usize,
+    node: usize,
+    jobs: usize,
+) -> LayerWorkload {
+    let n = &net.nodes()[node];
+    let src = n.inputs[0];
+    let act = &outs[src];
+    let (kind, kernel, macs, weight_count) = match n.op {
+        Op::Conv(spec) => {
+            let i = act.shape();
+            (
+                LayerKind::Conv,
+                spec.geometry.kernel,
+                spec.macs(i.h, i.w),
+                spec.weight_count(),
+            )
+        }
+        Op::Linear(spec) => (LayerKind::Fc, 1, spec.macs(), spec.weight_count()),
+        _ => unreachable!("compute_nodes returns only conv/linear"),
+    };
+
+    // --- input activation statistics: one fused chunk-major pass ---
+    // Every element sits in exactly one chunk, so the sweep's ValueScan is
+    // the full calibration population; the calibration quantities are
+    // order-independent reductions, so chunk-major order gives the same
+    // result as the historical element-order pass.
+    let views = ChunkViews::activations(act, CHUNK_LANES);
+    let mut chunks = scan_chunks(&views, jobs);
+    let cal: LayerCalibration = calibrate_from_scan(node, &mut chunks.values, policy.outlier_ratio);
+
+    // --- weight statistics ---
+    let wstats = weight_chunk_stats(params, node, policy.outlier_ratio, jobs);
+
+    // --- output zero fraction: use the post-ReLU view when a ReLU (or
+    //     BN+ReLU chain) directly consumes this node ---
+    let out_zero_fraction = post_activation_zero_fraction(net, outs, node);
+
+    let in_shape: Shape4 = if kind == LayerKind::Fc {
+        // FC consumes a flattened input: model as C = features, 1x1.
+        let s = act.shape();
+        Shape4::new(s.n, s.c * s.h * s.w, 1, 1)
+    } else {
+        act.shape()
+    };
+    let out_shape: Shape4 = shapes[node];
+
+    LayerWorkload {
+        name: n.name.clone(),
+        index,
+        kind,
+        in_shape: in_shape.into(),
+        out_shape: out_shape.into(),
+        kernel,
+        macs,
+        weight_count: weight_count as u64,
+        weight_bits: policy.weight_bits(index),
+        act_bits: policy.act_bits(index),
+        weight_zero_fraction: wstats.zero_fraction,
+        act_zero_fraction: cal.zero_fraction,
+        weight_outlier_ratio: wstats.outlier_ratio,
+        act_outlier_nonzero_ratio: cal.nonzero_outlier_ratio,
+        act_effective_outlier_ratio: cal.effective_outlier_ratio,
+        chunk_nnz: chunks.nnz,
+        chunk_zero_quads: chunks.zero_quads,
+        wchunk_single_fraction: wstats.single_fraction,
+        wchunk_multi_fraction: wstats.multi_fraction,
+        out_zero_fraction,
     }
 }
 
@@ -315,14 +418,19 @@ struct WeightChunkStats {
 /// Measures weight zero fraction, outlier ratio and per-16-lane-chunk
 /// outlier multiplicity. Chunks group 16 *output channels* at a fixed input
 /// channel / kernel offset (§III-B).
-fn weight_chunk_stats(params: &Params, node: usize, ratio: f64) -> WeightChunkStats {
+///
+/// Two fused passes: one [`ValueScan`] for the quantizer fit, then one
+/// chunk sweep counting zeros, outliers and per-chunk multiplicity
+/// together (the historical path walked the weights four times).
+fn weight_chunk_stats(params: &Params, node: usize, ratio: f64, jobs: usize) -> WeightChunkStats {
     match params
         .weights(node)
         .expect("compute node must have weights")
     {
         WeightStore::Dense(w) => {
             let values = w.as_slice();
-            let quant = fit_or_none(values, ratio);
+            let mut scan = scan_values(values, jobs);
+            let quant = fit_from_scan(&mut scan, ratio);
             let s = w.shape();
             // Conv weights are (Co, Ci, K, K); FC dense weights are
             // (1, 1, rows=Co, cols=Ci). Normalize to (co, inner).
@@ -331,74 +439,330 @@ fn weight_chunk_stats(params: &Params, node: usize, ratio: f64) -> WeightChunkSt
             } else {
                 (s.h, s.w)
             };
-            chunk_stats_from(values, co, inner, quant.as_ref())
+            chunk_stats_fused(values, co, inner, quant.as_ref(), jobs)
         }
         WeightStore::RowGen(g) => {
             // Sample 64 rows for the fit, then 16-row bands for chunking.
             let sample = g.sample_values(64);
-            let quant = fit_or_none(&sample, ratio);
+            let mut scan = scan_values(&sample, jobs);
+            let quant = fit_from_scan(&mut scan, ratio);
             let rows = g.rows().min(32);
             let mut values = Vec::with_capacity(rows * g.cols());
             for r in 0..rows {
                 values.extend(g.row(r));
             }
-            chunk_stats_from(&values, rows, g.cols(), quant.as_ref())
+            chunk_stats_fused(&values, rows, g.cols(), quant.as_ref(), jobs)
         }
     }
 }
 
-/// Fits the weight outlier quantizer. The paper's weight outlier ratio is a
-/// fraction of *total* weights (zeros included), so the fit over the
-/// non-zero population uses `ratio / (1 - zero_fraction)`.
-fn fit_or_none(values: &[f32], ratio: f64) -> Option<OutlierQuantizer> {
-    if ratio <= 0.0 {
+/// Fits the weight outlier quantizer from an already-computed statistics
+/// scan. The paper's weight outlier ratio is a fraction of *total* weights
+/// (zeros included), so the fit over the non-zero population uses
+/// `ratio / (1 - zero_fraction)`.
+///
+/// Decomposes `OutlierQuantizer::fit` over the filtered non-zero slice
+/// exactly: the fit's max-fold equals the scan's [`ValueScan::abs_max`]
+/// and its threshold selection equals [`ValueScan::threshold`] over the
+/// same non-zero magnitudes.
+fn fit_from_scan(scan: &mut ValueScan, ratio: f64) -> Option<OutlierQuantizer> {
+    if ratio <= 0.0 || scan.nonzero() == 0 {
         return None;
     }
-    let nonzero: Vec<f32> = values.iter().copied().filter(|&v| v != 0.0).collect();
-    if nonzero.is_empty() {
-        return None;
-    }
-    let nonzero_ratio = (ratio * values.len() as f64 / nonzero.len() as f64).min(1.0);
-    Some(OutlierQuantizer::fit(&nonzero, nonzero_ratio, 4, 8))
+    let nonzero_ratio = (ratio * scan.total() as f64 / scan.nonzero() as f64).min(1.0);
+    let threshold = scan.threshold(nonzero_ratio);
+    Some(OutlierQuantizer::with_threshold(
+        threshold,
+        scan.abs_max(),
+        nonzero_ratio,
+        4,
+        8,
+    ))
 }
 
-fn chunk_stats_from(
+/// One fused sweep over the weight chunk grid: zeros, outliers, and
+/// per-chunk outlier multiplicity, split across `jobs` workers over
+/// contiguous chunk ranges (all four quantities are order-independent
+/// count reductions, so any split is exact).
+fn chunk_stats_fused(
     values: &[f32],
     co: usize,
     inner: usize,
     quant: Option<&OutlierQuantizer>,
+    jobs: usize,
 ) -> WeightChunkStats {
-    let total = values.len().max(1);
-    let zeros = values.iter().filter(|&&v| v == 0.0).count();
-    let is_outlier = |v: f32| -> bool { v != 0.0 && quant.map(|q| q.is_outlier(v)) == Some(true) };
-    let outliers = values.iter().filter(|&&v| is_outlier(v)).count();
-
-    let mut chunks = 0u64;
-    let mut single = 0u64;
-    let mut multi = 0u64;
-    for co0 in (0..co).step_by(CHUNK_LANES) {
-        let lanes = (co - co0).min(CHUNK_LANES);
-        for i in 0..inner {
+    let views = ChunkViews::matrix(values, co, inner, CHUNK_LANES);
+    let ranges = split_ranges(views.len(), jobs);
+    let parts = ordered_map(&ranges, jobs, |_, range| {
+        let mut zeros = 0u64;
+        let mut outliers = 0u64;
+        let mut single = 0u64;
+        let mut multi = 0u64;
+        for idx in range.clone() {
+            let view = views.get(idx);
             let mut count = 0u32;
-            for lane in 0..lanes {
-                let v = values[(co0 + lane) * inner + i];
-                if is_outlier(v) {
+            for lane in 0..view.real_lanes() {
+                let v = view.lane(lane);
+                if v == 0.0 {
+                    zeros += 1;
+                } else if quant.map(|q| q.is_outlier(v)) == Some(true) {
                     count += 1;
                 }
             }
-            chunks += 1;
+            outliers += u64::from(count);
             match count {
                 0 => {}
                 1 => single += 1,
                 _ => multi += 1,
             }
         }
-    }
+        (zeros, outliers, single, multi)
+    });
+    let (zeros, outliers, single, multi) =
+        parts.into_iter().fold((0u64, 0u64, 0u64, 0u64), |a, p| {
+            (a.0 + p.0, a.1 + p.1, a.2 + p.2, a.3 + p.3)
+        });
+    let total = values.len().max(1);
+    let chunks = views.len() as u64;
     WeightChunkStats {
         zero_fraction: zeros as f64 / total as f64,
         outlier_ratio: outliers as f64 / total as f64,
         single_fraction: single as f64 / chunks.max(1) as f64,
         multi_fraction: multi as f64 / chunks.max(1) as f64,
+    }
+}
+
+/// The pre-fusion multi-pass extraction pipeline, retained verbatim as the
+/// oracle the property tests and benchmarks compare the fused path
+/// against: serial per-layer loop, owning [`ChannelChunks`] iterator, a
+/// full descending sort for every threshold, and separate walks for the
+/// zero count, the outlier count and the chunk sweep.
+pub mod oracle {
+    use super::{
+        post_activation_zero_fraction, LayerKind, LayerWorkload, QuantPolicy, WeightChunkStats,
+        WorkloadSet,
+    };
+    use ola_nn::network::WeightStore;
+    use ola_nn::{Network, Op, Params};
+    use ola_quant::calibrate::LayerCalibration;
+    use ola_quant::outlier::OutlierQuantizer;
+    use ola_tensor::{ChannelChunks, Shape4, Tensor, CHUNK_LANES};
+
+    /// Full-sort threshold over the top-`ratio` magnitude fraction — the
+    /// historical O(n log n) implementation of
+    /// `ola_tensor::stats::magnitude_threshold`.
+    fn magnitude_threshold_sorted(values: &[f32], ratio: f64) -> f32 {
+        assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0,1]");
+        if ratio == 0.0 || values.is_empty() {
+            return f32::INFINITY;
+        }
+        let mut mags: Vec<f32> = values.iter().map(|v| v.abs()).collect();
+        mags.sort_by(|a, b| b.total_cmp(a));
+        let k = ((values.len() as f64 * ratio).ceil() as usize).clamp(1, values.len());
+        mags[k - 1]
+    }
+
+    /// The historical multi-pass `calibrate_values`: filter, fold, sort,
+    /// re-count.
+    fn calibrate_values_multi_pass(node: usize, values: &[f32], ratio: f64) -> LayerCalibration {
+        let total = values.len().max(1);
+        let nonzero: Vec<f32> = values.iter().copied().filter(|&v| v != 0.0).collect();
+        let zero_fraction = 1.0 - nonzero.len() as f64 / total as f64;
+        let abs_max = nonzero.iter().fold(0.0_f32, |m, &v| m.max(v.abs()));
+        let threshold = if nonzero.is_empty() {
+            f32::INFINITY
+        } else {
+            magnitude_threshold_sorted(&nonzero, ratio)
+        };
+        let outliers = nonzero.iter().filter(|&&v| v.abs() >= threshold).count();
+        let nonzero_outlier_ratio = if nonzero.is_empty() {
+            0.0
+        } else {
+            outliers as f64 / nonzero.len() as f64
+        };
+        LayerCalibration {
+            node,
+            threshold,
+            abs_max: if abs_max > 0.0 { abs_max } else { 1.0 },
+            nonzero_outlier_ratio,
+            effective_outlier_ratio: outliers as f64 / total as f64,
+            zero_fraction,
+        }
+    }
+
+    fn fit_or_none(values: &[f32], ratio: f64) -> Option<OutlierQuantizer> {
+        if ratio <= 0.0 {
+            return None;
+        }
+        let nonzero: Vec<f32> = values.iter().copied().filter(|&v| v != 0.0).collect();
+        if nonzero.is_empty() {
+            return None;
+        }
+        let nonzero_ratio = (ratio * values.len() as f64 / nonzero.len() as f64).min(1.0);
+        let max = nonzero.iter().fold(0.0_f32, |m, &v| m.max(v.abs()));
+        let threshold = magnitude_threshold_sorted(&nonzero, nonzero_ratio);
+        Some(OutlierQuantizer::with_threshold(
+            threshold,
+            max,
+            nonzero_ratio,
+            4,
+            8,
+        ))
+    }
+
+    fn weight_chunk_stats(params: &Params, node: usize, ratio: f64) -> WeightChunkStats {
+        match params
+            .weights(node)
+            .expect("compute node must have weights")
+        {
+            WeightStore::Dense(w) => {
+                let values = w.as_slice();
+                let quant = fit_or_none(values, ratio);
+                let s = w.shape();
+                let (co, inner) = if s.n > 1 {
+                    (s.n, s.c * s.h * s.w)
+                } else {
+                    (s.h, s.w)
+                };
+                chunk_stats_from(values, co, inner, quant.as_ref())
+            }
+            WeightStore::RowGen(g) => {
+                let sample = g.sample_values(64);
+                let quant = fit_or_none(&sample, ratio);
+                let rows = g.rows().min(32);
+                let mut values = Vec::with_capacity(rows * g.cols());
+                for r in 0..rows {
+                    values.extend(g.row(r));
+                }
+                chunk_stats_from(&values, rows, g.cols(), quant.as_ref())
+            }
+        }
+    }
+
+    fn chunk_stats_from(
+        values: &[f32],
+        co: usize,
+        inner: usize,
+        quant: Option<&OutlierQuantizer>,
+    ) -> WeightChunkStats {
+        let total = values.len().max(1);
+        let zeros = values.iter().filter(|&&v| v == 0.0).count();
+        let is_outlier =
+            |v: f32| -> bool { v != 0.0 && quant.map(|q| q.is_outlier(v)) == Some(true) };
+        let outliers = values.iter().filter(|&&v| is_outlier(v)).count();
+
+        let mut chunks = 0u64;
+        let mut single = 0u64;
+        let mut multi = 0u64;
+        for co0 in (0..co).step_by(CHUNK_LANES) {
+            let lanes = (co - co0).min(CHUNK_LANES);
+            for i in 0..inner {
+                let mut count = 0u32;
+                for lane in 0..lanes {
+                    let v = values[(co0 + lane) * inner + i];
+                    if is_outlier(v) {
+                        count += 1;
+                    }
+                }
+                chunks += 1;
+                match count {
+                    0 => {}
+                    1 => single += 1,
+                    _ => multi += 1,
+                }
+            }
+        }
+        WeightChunkStats {
+            zero_fraction: zeros as f64 / total as f64,
+            outlier_ratio: outliers as f64 / total as f64,
+            single_fraction: single as f64 / chunks.max(1) as f64,
+            multi_fraction: multi as f64 / chunks.max(1) as f64,
+        }
+    }
+
+    /// The historical serial extraction loop: one layer at a time, each
+    /// walking its activations several times.
+    pub fn extract_from_acts(
+        net: &Network,
+        params: &Params,
+        outs: &[Tensor],
+        policy: &QuantPolicy,
+    ) -> WorkloadSet {
+        let shapes = net.shapes();
+        let compute = net.compute_nodes();
+        let mut layers = Vec::with_capacity(compute.len());
+
+        for (index, &node) in compute.iter().enumerate() {
+            let n = &net.nodes()[node];
+            let src = n.inputs[0];
+            let act = &outs[src];
+            let (kind, kernel, macs, weight_count) = match n.op {
+                Op::Conv(spec) => {
+                    let i = act.shape();
+                    (
+                        LayerKind::Conv,
+                        spec.geometry.kernel,
+                        spec.macs(i.h, i.w),
+                        spec.weight_count(),
+                    )
+                }
+                Op::Linear(spec) => (LayerKind::Fc, 1, spec.macs(), spec.weight_count()),
+                _ => unreachable!("compute_nodes returns only conv/linear"),
+            };
+
+            let cal = calibrate_values_multi_pass(node, act.as_slice(), policy.outlier_ratio);
+            let mut chunk_nnz = Vec::new();
+            let mut chunk_zero_quads = Vec::new();
+            for c in ChannelChunks::new(act, CHUNK_LANES) {
+                chunk_nnz.push(c.nonzero_count() as u8);
+                let zq = c
+                    .values
+                    .chunks(4)
+                    .filter(|quad| quad.iter().all(|&v| v == 0.0))
+                    .count() as u8;
+                chunk_zero_quads.push(zq);
+            }
+
+            let wstats = weight_chunk_stats(params, node, policy.outlier_ratio);
+            let out_zero_fraction = post_activation_zero_fraction(net, outs, node);
+
+            let in_shape: Shape4 = if kind == LayerKind::Fc {
+                let s = act.shape();
+                Shape4::new(s.n, s.c * s.h * s.w, 1, 1)
+            } else {
+                act.shape()
+            };
+            let out_shape: Shape4 = shapes[node];
+
+            layers.push(LayerWorkload {
+                name: n.name.clone(),
+                index,
+                kind,
+                in_shape: in_shape.into(),
+                out_shape: out_shape.into(),
+                kernel,
+                macs,
+                weight_count: weight_count as u64,
+                weight_bits: policy.weight_bits(index),
+                act_bits: policy.act_bits(index),
+                weight_zero_fraction: wstats.zero_fraction,
+                act_zero_fraction: cal.zero_fraction,
+                weight_outlier_ratio: wstats.outlier_ratio,
+                act_outlier_nonzero_ratio: cal.nonzero_outlier_ratio,
+                act_effective_outlier_ratio: cal.effective_outlier_ratio,
+                chunk_nnz,
+                chunk_zero_quads,
+                wchunk_single_fraction: wstats.single_fraction,
+                wchunk_multi_fraction: wstats.multi_fraction,
+                out_zero_fraction,
+            });
+        }
+
+        WorkloadSet {
+            network: net.name().to_string(),
+            policy: *policy,
+            layers,
+        }
     }
 }
 
@@ -420,6 +784,28 @@ mod tests {
         let input = uniform_tensor(net.input_shape(), -1.0, 1.0, 9);
         let policy = QuantPolicy::olaccel16("alexnet");
         extract(&net, &params, &input, &policy)
+    }
+
+    #[test]
+    fn fused_extraction_matches_oracle_at_any_worker_count() {
+        let cfg = ZooConfig {
+            spatial_scale: 8,
+            include_classifier: true,
+            batch: 1,
+        };
+        let net = zoo::alexnet(&cfg);
+        let params = synthesize_params(&net, &SynthConfig::default());
+        let input = uniform_tensor(net.input_shape(), -1.0, 1.0, 9);
+        let outs = net.forward(&params, &input);
+        let policy = QuantPolicy::olaccel16("alexnet");
+        let reference = oracle::extract_from_acts(&net, &params, &outs, &policy);
+        for jobs in [1, 2, 3, 8] {
+            let fused = extract_from_acts_jobs(&net, &params, &outs, &policy, jobs);
+            assert!(
+                fused.bitwise_eq(&reference),
+                "fused extraction diverged from the multi-pass oracle at jobs={jobs}"
+            );
+        }
     }
 
     #[test]

@@ -2,10 +2,18 @@
 //!
 //! OLAccel's PE groups consume activations in chunks of 16 consecutive input
 //! channels at one spatial position — the paper's `A(1x1x16)` unit. This
-//! module provides an iterator that yields those chunks (zero-padded when the
-//! channel count is not a multiple of 16) so the simulators and quantizers
-//! can share one definition of "chunk".
+//! module provides two access paths sharing one definition of "chunk":
+//!
+//! * [`ChunkViews`] / [`ChunkView`] — a random-access grid of *borrowed*
+//!   chunks over a tensor (or a `(rows, cols)` weight matrix, whose chunks
+//!   group 16 rows at a fixed column — §III-B's `W(16)` unit). No per-chunk
+//!   allocation; this is what the fused extraction scans iterate, and the
+//!   random access is what lets them split chunk ranges across workers.
+//! * [`ChannelChunks`] — the original owning iterator (each item carries a
+//!   `Vec<f32>`), kept for callers that want detachable chunks. It is a
+//!   thin adapter over the borrowed grid.
 
+use crate::shape::Shape4;
 use crate::tensor::Tensor;
 
 /// Number of SIMD lanes in a PE group (= activations per chunk).
@@ -39,6 +47,257 @@ impl Chunk {
     }
 }
 
+/// A borrowed chunk: `real` genuine lanes strided through the backing
+/// buffer, zero-padded up to `lanes`. Produced by [`ChunkViews`]; no
+/// allocation, no copy.
+#[derive(Clone, Copy, Debug)]
+pub struct ChunkView<'a> {
+    data: &'a [f32],
+    start: usize,
+    stride: usize,
+    real: usize,
+    lanes: usize,
+    /// Batch index (0 for matrix chunks).
+    pub n: usize,
+    /// First channel (tensor geometry) or first row (matrix geometry)
+    /// covered by this chunk.
+    pub c0: usize,
+    /// Spatial row (0 for matrix chunks).
+    pub h: usize,
+    /// Spatial column (tensor geometry) or column index (matrix geometry).
+    pub w: usize,
+}
+
+impl<'a> ChunkView<'a> {
+    /// Lane count including zero padding.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Lanes backed by real data (the rest read as 0.0).
+    pub fn real_lanes(&self) -> usize {
+        self.real
+    }
+
+    /// Value of lane `i` (0.0 in the padded tail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.lanes()`.
+    #[inline]
+    pub fn lane(&self, i: usize) -> f32 {
+        assert!(i < self.lanes, "lane out of range");
+        if i < self.real {
+            self.data[self.start + i * self.stride]
+        } else {
+            0.0
+        }
+    }
+
+    /// Iterates the `lanes` values, padding included.
+    pub fn iter(&self) -> impl Iterator<Item = f32> + '_ {
+        (0..self.lanes).map(move |i| {
+            if i < self.real {
+                self.data[self.start + i * self.stride]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Number of non-zero lanes (padding is zero by construction).
+    pub fn nonzero_count(&self) -> usize {
+        let mut count = 0;
+        for i in 0..self.real {
+            if self.data[self.start + i * self.stride] != 0.0 {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// How many 4-lane quads are entirely zero — the zero-skip scanner
+    /// overhead unit of §V / Fig 18. Matches `values.chunks(4)` over the
+    /// padded lane vector: fully-padded quads count as zero quads.
+    pub fn zero_quads(&self) -> usize {
+        let mut quads = 0;
+        let mut q0 = 0;
+        while q0 < self.lanes {
+            let end = (q0 + 4).min(self.real);
+            let zero = (q0..end).all(|i| self.data[self.start + i * self.stride] == 0.0);
+            if zero {
+                quads += 1;
+            }
+            q0 += 4;
+        }
+        quads
+    }
+
+    /// Materializes the padded lane vector as an owned [`Chunk`].
+    pub fn to_chunk(&self) -> Chunk {
+        Chunk {
+            n: self.n,
+            c0: self.c0,
+            h: self.h,
+            w: self.w,
+            values: self.iter().collect(),
+        }
+    }
+}
+
+/// The chunk geometries a [`ChunkViews`] grid can describe.
+#[derive(Clone, Copy, Debug)]
+enum Geometry {
+    /// Activation tensor: `ceil(C / lanes)` chunks per `(n, h, w)` position,
+    /// iterated position-major (the [`ChannelChunks`] order). Lane stride is
+    /// the channel stride `h * w`.
+    Activations {
+        shape: Shape4,
+        chunks_per_pos: usize,
+    },
+    /// Row-major `(rows, cols)` matrix: chunks group `lanes` consecutive
+    /// rows at one column, iterated band-major then column (the §III-B
+    /// weight-chunk order). Lane stride is the row stride `cols`.
+    Matrix { rows: usize, cols: usize },
+}
+
+/// A random-access grid of borrowed chunks over a tensor or matrix.
+///
+/// Chunk `i` of the activation geometry is exactly the `i`-th item the
+/// owning [`ChannelChunks`] iterator yields; the matrix geometry yields the
+/// 16-output-channel weight chunks of §III-B. Random access by index is
+/// what lets the fused extraction scans partition chunk ranges across
+/// workers deterministically.
+///
+/// # Example
+///
+/// ```
+/// use ola_tensor::{ChunkViews, Shape4, Tensor};
+///
+/// let t = Tensor::zeros(Shape4::new(1, 20, 2, 2));
+/// let views = ChunkViews::activations(&t, 16);
+/// // 2x2 spatial positions x ceil(20/16)=2 chunks each.
+/// assert_eq!(views.len(), 8);
+/// assert_eq!(views.get(1).real_lanes(), 4); // channels 16..20
+/// assert_eq!(views.get(1).zero_quads(), 4);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ChunkViews<'a> {
+    data: &'a [f32],
+    lanes: usize,
+    count: usize,
+    geometry: Geometry,
+}
+
+impl<'a> ChunkViews<'a> {
+    /// Chunk grid over an activation tensor, `lanes` channels per chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn activations(tensor: &'a Tensor, lanes: usize) -> Self {
+        assert!(lanes > 0, "lanes must be positive");
+        let shape = tensor.shape();
+        let chunks_per_pos = shape.c.div_ceil(lanes);
+        ChunkViews {
+            data: tensor.as_slice(),
+            lanes,
+            count: shape.n * shape.spatial() * chunks_per_pos,
+            geometry: Geometry::Activations {
+                shape,
+                chunks_per_pos,
+            },
+        }
+    }
+
+    /// Chunk grid over a row-major `(rows, cols)` matrix, `lanes` rows per
+    /// chunk (the weight-chunk geometry: 16 output channels at one input
+    /// offset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero or `data.len() != rows * cols`.
+    pub fn matrix(data: &'a [f32], rows: usize, cols: usize, lanes: usize) -> Self {
+        assert!(lanes > 0, "lanes must be positive");
+        assert_eq!(data.len(), rows * cols, "matrix buffer length mismatch");
+        ChunkViews {
+            data,
+            lanes,
+            count: rows.div_ceil(lanes) * cols,
+            geometry: Geometry::Matrix { rows, cols },
+        }
+    }
+
+    /// Number of chunks in the grid.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Lane count per chunk.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The `idx`-th chunk of the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    pub fn get(&self, idx: usize) -> ChunkView<'a> {
+        assert!(idx < self.count, "chunk index out of range");
+        match self.geometry {
+            Geometry::Activations {
+                shape: s,
+                chunks_per_pos,
+            } => {
+                let ci = idx % chunks_per_pos;
+                let pos = idx / chunks_per_pos;
+                let w = pos % s.w;
+                let h = (pos / s.w) % s.h;
+                let n = pos / (s.w * s.h);
+                let c0 = ci * self.lanes;
+                ChunkView {
+                    data: self.data,
+                    start: s.index(n, c0, h, w),
+                    stride: s.h * s.w,
+                    real: (s.c - c0).min(self.lanes),
+                    lanes: self.lanes,
+                    n,
+                    c0,
+                    h,
+                    w,
+                }
+            }
+            Geometry::Matrix { rows, cols } => {
+                let band = idx / cols;
+                let col = idx % cols;
+                let r0 = band * self.lanes;
+                ChunkView {
+                    data: self.data,
+                    start: r0 * cols + col,
+                    stride: cols,
+                    real: (rows - r0).min(self.lanes),
+                    lanes: self.lanes,
+                    n: 0,
+                    c0: r0,
+                    h: 0,
+                    w: col,
+                }
+            }
+        }
+    }
+
+    /// Iterates the grid's chunks in index order, borrowing.
+    pub fn iter(&self) -> impl Iterator<Item = ChunkView<'a>> + '_ {
+        (0..self.count).map(move |i| self.get(i))
+    }
+}
+
 /// Iterator over the channel chunks of an activation tensor.
 ///
 /// Iterates spatial positions in row-major order; for each position yields
@@ -57,12 +316,9 @@ impl Chunk {
 /// ```
 #[derive(Debug)]
 pub struct ChannelChunks<'a> {
-    tensor: &'a Tensor,
-    lanes: usize,
-    chunks_per_pos: usize,
+    views: ChunkViews<'a>,
     /// Next flat chunk index (over n, h, w, chunk-of-c).
     next: usize,
-    total: usize,
 }
 
 impl<'a> ChannelChunks<'a> {
@@ -72,22 +328,15 @@ impl<'a> ChannelChunks<'a> {
     ///
     /// Panics if `lanes` is zero.
     pub fn new(tensor: &'a Tensor, lanes: usize) -> Self {
-        assert!(lanes > 0, "lanes must be positive");
-        let s = tensor.shape();
-        let chunks_per_pos = s.c.div_ceil(lanes);
-        let total = s.n * s.spatial() * chunks_per_pos;
         ChannelChunks {
-            tensor,
-            lanes,
-            chunks_per_pos,
+            views: ChunkViews::activations(tensor, lanes),
             next: 0,
-            total,
         }
     }
 
     /// Total number of chunks this iterator will yield.
     pub fn total_chunks(&self) -> usize {
-        self.total
+        self.views.len()
     }
 }
 
@@ -95,38 +344,16 @@ impl Iterator for ChannelChunks<'_> {
     type Item = Chunk;
 
     fn next(&mut self) -> Option<Chunk> {
-        if self.next >= self.total {
+        if self.next >= self.views.len() {
             return None;
         }
-        let s = self.tensor.shape();
-        let idx = self.next;
+        let view = self.views.get(self.next);
         self.next += 1;
-
-        let ci = idx % self.chunks_per_pos;
-        let pos = idx / self.chunks_per_pos;
-        let w = pos % s.w;
-        let h = (pos / s.w) % s.h;
-        let n = pos / (s.w * s.h);
-        let c0 = ci * self.lanes;
-
-        let mut values = vec![0.0; self.lanes];
-        for (lane, v) in values.iter_mut().enumerate() {
-            let c = c0 + lane;
-            if c < s.c {
-                *v = self.tensor.get(n, c, h, w);
-            }
-        }
-        Some(Chunk {
-            n,
-            c0,
-            h,
-            w,
-            values,
-        })
+        Some(view.to_chunk())
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let rem = self.total - self.next;
+        let rem = self.views.len() - self.next;
         (rem, Some(rem))
     }
 }
@@ -208,5 +435,76 @@ mod tests {
     fn zero_lanes_panics() {
         let t = Tensor::zeros(Shape4::new(1, 1, 1, 1));
         let _ = ChannelChunks::new(&t, 0);
+    }
+
+    fn numbered_tensor(shape: Shape4) -> Tensor {
+        let data: Vec<f32> = (0..shape.len()).map(|i| (i % 11) as f32 - 3.0).collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    #[test]
+    fn borrowed_views_match_owning_iterator() {
+        for shape in [
+            Shape4::new(1, 6, 1, 1),
+            Shape4::new(2, 5, 3, 3),
+            Shape4::new(1, 17, 2, 4),
+            Shape4::new(3, 16, 1, 2),
+        ] {
+            let t = numbered_tensor(shape);
+            for lanes in [4, 16] {
+                let views = ChunkViews::activations(&t, lanes);
+                let owned: Vec<Chunk> = ChannelChunks::new(&t, lanes).collect();
+                assert_eq!(views.len(), owned.len());
+                for (i, chunk) in owned.iter().enumerate() {
+                    let view = views.get(i);
+                    assert_eq!(&view.to_chunk(), chunk, "{shape} lanes {lanes} chunk {i}");
+                    assert_eq!(view.nonzero_count(), chunk.nonzero_count());
+                    let quads = chunk
+                        .values
+                        .chunks(4)
+                        .filter(|quad| quad.iter().all(|&v| v == 0.0))
+                        .count();
+                    assert_eq!(view.zero_quads(), quads);
+                    assert_eq!(view.iter().collect::<Vec<_>>(), chunk.values);
+                    for (lane, &v) in chunk.values.iter().enumerate() {
+                        assert_eq!(view.lane(lane), v);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_views_cover_row_bands() {
+        // 5 rows x 3 cols at 4 lanes: 2 bands x 3 cols = 6 chunks, in
+        // band-major column order; the second band has one real lane.
+        let values: Vec<f32> = (0..15).map(|i| i as f32 + 1.0).collect();
+        let views = ChunkViews::matrix(&values, 5, 3, 4);
+        assert_eq!(views.len(), 6);
+        let first = views.get(0);
+        assert_eq!(first.real_lanes(), 4);
+        assert_eq!(first.iter().collect::<Vec<_>>(), vec![1.0, 4.0, 7.0, 10.0]);
+        let tail = views.get(4); // band 1, col 1 -> row 4, col 1
+        assert_eq!((tail.c0, tail.w), (4, 1));
+        assert_eq!(tail.real_lanes(), 1);
+        assert_eq!(tail.iter().collect::<Vec<_>>(), vec![14.0, 0.0, 0.0, 0.0]);
+        assert_eq!(tail.nonzero_count(), 1);
+        // Every matrix element appears in exactly one chunk.
+        let mut seen = 0;
+        for view in views.iter() {
+            seen += view.real_lanes();
+        }
+        assert_eq!(seen, values.len());
+    }
+
+    #[test]
+    fn zero_quads_counts_padded_tail() {
+        let mut t = Tensor::zeros(Shape4::new(1, 5, 1, 1));
+        t.set(0, 4, 0, 0, 2.0);
+        let views = ChunkViews::activations(&t, 16);
+        // Lanes 0..4 all zero (quad 0 zero); lane 4 non-zero (quad 1 not
+        // zero); quads 2 and 3 fully padded -> zero.
+        assert_eq!(views.get(0).zero_quads(), 3);
+        assert_eq!(views.get(0).nonzero_count(), 1);
     }
 }

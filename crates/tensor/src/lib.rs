@@ -21,10 +21,11 @@
 pub mod chunk;
 pub mod init;
 pub mod par;
+pub mod scan;
 pub mod shape;
 pub mod stats;
 mod tensor;
 
-pub use chunk::{ChannelChunks, CHUNK_LANES};
+pub use chunk::{ChannelChunks, ChunkView, ChunkViews, CHUNK_LANES};
 pub use shape::{ConvGeometry, Shape4};
 pub use tensor::Tensor;

@@ -92,6 +92,14 @@ impl Histogram {
 /// `|v| > threshold` are outliers. `ratio = 0` returns `f32::INFINITY`
 /// (nothing is an outlier); `ratio = 1` returns 0 before any positive value.
 ///
+/// O(n) selection, no sort: magnitudes are non-negative (`abs` clears the
+/// sign bit), so `total_cmp` on them is exactly magnitude order — ties are
+/// bit-identical values and the k-th largest *value* is order-independent.
+/// NaN magnitudes sort above `+inf` under the total order, i.e. a NaN
+/// always lands in the outlier region deterministically (the old
+/// `partial_cmp(..).unwrap_or(Equal)` comparator left the order, and hence
+/// the threshold, unspecified in that case).
+///
 /// # Panics
 ///
 /// Panics if `ratio` is outside `[0, 1]`.
@@ -101,15 +109,33 @@ pub fn magnitude_threshold(values: &[f32], ratio: f64) -> f32 {
         return f32::INFINITY;
     }
     let mut mags: Vec<f32> = values.iter().map(|v| v.abs()).collect();
-    mags.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
     let k = ((values.len() as f64 * ratio).ceil() as usize).clamp(1, values.len());
+    kth_largest_magnitude(&mut mags, k)
+}
+
+/// The k-th largest (1-based) of a buffer of already-absolute magnitudes,
+/// by in-place O(n) selection. The buffer is permuted.
+///
+/// This is the selection kernel behind [`magnitude_threshold`] and the
+/// fused extraction scans ([`ValueScan::threshold`]): callers that already
+/// hold the magnitudes skip the clone-and-sort entirely.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds `mags.len()`.
+pub fn kth_largest_magnitude(mags: &mut [f32], k: usize) -> f32 {
+    assert!(k >= 1 && k <= mags.len(), "k must be in 1..=len");
     // Threshold sits at the k-th largest magnitude: values strictly greater
     // than the (k+1)-th are the top-k set; use the k-th value as inclusive
     // boundary so that exactly ~k values satisfy |v| >= threshold.
-    mags[k - 1]
+    let (_, v, _) = mags.select_nth_unstable_by(k - 1, |a, b| b.total_cmp(a));
+    *v
 }
 
 /// Percentile (0..=100) of the absolute values, by nearest-rank.
+///
+/// O(n) selection on the same total magnitude order as
+/// [`magnitude_threshold`] (ascending here).
 ///
 /// # Panics
 ///
@@ -118,9 +144,136 @@ pub fn abs_percentile(values: &[f32], pct: f64) -> f32 {
     assert!(!values.is_empty(), "values must be non-empty");
     assert!((0.0..=100.0).contains(&pct), "pct must be in [0,100]");
     let mut mags: Vec<f32> = values.iter().map(|v| v.abs()).collect();
-    mags.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let rank = ((pct / 100.0) * (mags.len() - 1) as f64).round() as usize;
-    mags[rank]
+    let (_, v, _) = mags.select_nth_unstable_by(rank, f32::total_cmp);
+    *v
+}
+
+/// One-pass accumulator over a value population: element count, zero
+/// count, absolute maximum, and the non-zero magnitudes (kept for
+/// threshold selection and outlier counting).
+///
+/// This is the shared statistics kernel of the workload-extraction
+/// pipeline: activation calibration (`ola-quant::calibrate`), weight
+/// outlier fitting and the fused chunk sweeps (`ola-sim::workload`) all
+/// feed one of these instead of re-walking their tensors per statistic.
+/// Scans [`merge`](ValueScan::merge) in population order, so a scan split
+/// across contiguous ranges (see [`crate::scan`]) reproduces the serial
+/// scan exactly — including the magnitude buffer's order.
+///
+/// # Example
+///
+/// ```
+/// use ola_tensor::stats::ValueScan;
+///
+/// let mut s = ValueScan::new();
+/// s.extend_slice(&[0.0, 1.0, -3.0, 0.0, 2.0]);
+/// assert_eq!((s.total(), s.zeros(), s.nonzero()), (5, 2, 3));
+/// assert_eq!(s.abs_max(), 3.0);
+/// let t = s.threshold(0.4); // top 40% of the 3 non-zeros -> k = 2
+/// assert_eq!(t, 2.0);
+/// assert_eq!(s.count_at_least(t), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ValueScan {
+    total: usize,
+    zeros: usize,
+    abs_max: f32,
+    nonzero_mags: Vec<f32>,
+}
+
+impl ValueScan {
+    /// An empty scan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn push(&mut self, v: f32) {
+        self.total += 1;
+        if v == 0.0 {
+            self.zeros += 1;
+        } else {
+            let m = v.abs();
+            self.abs_max = self.abs_max.max(m);
+            self.nonzero_mags.push(m);
+        }
+    }
+
+    /// Records every value of a slice, in order.
+    pub fn extend_slice(&mut self, values: &[f32]) {
+        self.nonzero_mags.reserve(values.len());
+        for &v in values {
+            self.push(v);
+        }
+    }
+
+    /// Absorbs `other` as the continuation of this population: counts add,
+    /// maxima combine, and `other`'s magnitudes append after this scan's.
+    /// Merging range scans in range order therefore reproduces the serial
+    /// scan byte-for-byte.
+    pub fn merge(&mut self, mut other: ValueScan) {
+        self.total += other.total;
+        self.zeros += other.zeros;
+        self.abs_max = self.abs_max.max(other.abs_max);
+        self.nonzero_mags.append(&mut other.nonzero_mags);
+    }
+
+    /// Values recorded.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Values that were exactly zero.
+    pub fn zeros(&self) -> usize {
+        self.zeros
+    }
+
+    /// Non-zero values recorded (NaN counts as non-zero, as in a direct
+    /// `v != 0.0` filter).
+    pub fn nonzero(&self) -> usize {
+        self.nonzero_mags.len()
+    }
+
+    /// Maximum absolute value seen (0.0 for an empty or all-zero
+    /// population; NaN magnitudes are ignored, as `f32::max` ignores them).
+    pub fn abs_max(&self) -> f32 {
+        self.abs_max
+    }
+
+    /// Fraction of exactly-zero values (0.0 for an empty population).
+    pub fn zero_fraction(&self) -> f64 {
+        1.0 - self.nonzero_mags.len() as f64 / self.total.max(1) as f64
+    }
+
+    /// The outlier threshold over the *non-zero* population: the magnitude
+    /// of the `ceil(nonzero * ratio)`-th largest non-zero value, exactly as
+    /// [`magnitude_threshold`] computes it over a pre-filtered slice.
+    /// Returns `f32::INFINITY` when `ratio == 0` or nothing non-zero was
+    /// recorded. Permutes the internal magnitude buffer (counts and maxima
+    /// are unaffected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is outside `[0, 1]`.
+    pub fn threshold(&mut self, ratio: f64) -> f32 {
+        assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0,1]");
+        let n = self.nonzero_mags.len();
+        if ratio == 0.0 || n == 0 {
+            return f32::INFINITY;
+        }
+        let k = ((n as f64 * ratio).ceil() as usize).clamp(1, n);
+        kth_largest_magnitude(&mut self.nonzero_mags, k)
+    }
+
+    /// How many non-zero values have magnitude `>= threshold`.
+    pub fn count_at_least(&self, threshold: f32) -> usize {
+        self.nonzero_mags
+            .iter()
+            .filter(|&&m| m >= threshold)
+            .count()
+    }
 }
 
 #[cfg(test)]
@@ -172,5 +325,106 @@ mod tests {
         assert_eq!(abs_percentile(&values, 0.0), 1.0);
         assert_eq!(abs_percentile(&values, 100.0), 5.0);
         assert_eq!(abs_percentile(&values, 50.0), 3.0);
+    }
+
+    /// Sort-based reference implementations the selection path must match
+    /// bit-for-bit on NaN-free data (the pre-selection implementations).
+    fn threshold_by_sort(values: &[f32], ratio: f64) -> f32 {
+        if ratio == 0.0 || values.is_empty() {
+            return f32::INFINITY;
+        }
+        let mut mags: Vec<f32> = values.iter().map(|v| v.abs()).collect();
+        mags.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        let k = ((values.len() as f64 * ratio).ceil() as usize).clamp(1, values.len());
+        mags[k - 1]
+    }
+
+    fn percentile_by_sort(values: &[f32], pct: f64) -> f32 {
+        let mut mags: Vec<f32> = values.iter().map(|v| v.abs()).collect();
+        mags.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        mags[((pct / 100.0) * (mags.len() - 1) as f64).round() as usize]
+    }
+
+    #[test]
+    fn selection_matches_sort_oracle() {
+        // Pseudo-random data with deliberate duplicates and sign mixing.
+        let mut state = 0x1234_5678_u64;
+        let values: Vec<f32> = (0..4096)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let v = ((state >> 33) % 1000) as f32 / 250.0 - 2.0;
+                if state.is_multiple_of(7) {
+                    0.0
+                } else {
+                    v
+                }
+            })
+            .collect();
+        for ratio in [1e-6, 0.001, 0.03, 0.25, 0.5, 0.99, 1.0] {
+            let fast = magnitude_threshold(&values, ratio);
+            let slow = threshold_by_sort(&values, ratio);
+            assert_eq!(fast.to_bits(), slow.to_bits(), "ratio {ratio}");
+        }
+        for pct in [0.0, 3.0, 42.0, 50.0, 97.0, 100.0] {
+            let fast = abs_percentile(&values, pct);
+            let slow = percentile_by_sort(&values, pct);
+            assert_eq!(fast.to_bits(), slow.to_bits(), "pct {pct}");
+        }
+    }
+
+    #[test]
+    fn nan_and_negative_zero_are_handled_deterministically() {
+        // NaN magnitudes order above +inf under the total order, so a NaN
+        // deterministically occupies the top selection slot; the old
+        // `partial_cmp(..).unwrap_or(Equal)` sort left this unspecified.
+        let values = [1.0_f32, f32::NAN, -2.0, 3.0];
+        let t = magnitude_threshold(&values, 0.25); // k = 1 -> the NaN
+        assert!(t.is_nan());
+        let t2 = magnitude_threshold(&values, 0.5); // k = 2 -> largest real
+        assert_eq!(t2, 3.0);
+        assert!(abs_percentile(&values, 100.0).is_nan());
+        assert_eq!(abs_percentile(&values, 0.0), 1.0);
+
+        // -0.0 is magnitude 0.0 (abs clears the sign), never a distinct key.
+        let zeros = [-0.0_f32, 0.0, -1.0];
+        assert_eq!(magnitude_threshold(&zeros, 1.0).to_bits(), 0.0f32.to_bits());
+        assert_eq!(abs_percentile(&zeros, 0.0).to_bits(), 0.0f32.to_bits());
+    }
+
+    #[test]
+    fn value_scan_matches_direct_computation() {
+        let values = [0.0_f32, 1.5, -2.5, 0.0, 0.5, -0.0, 4.0];
+        let mut scan = ValueScan::new();
+        scan.extend_slice(&values);
+        assert_eq!(scan.total(), 7);
+        assert_eq!(scan.zeros(), 3); // 0.0, 0.0 and -0.0
+        assert_eq!(scan.nonzero(), 4);
+        assert_eq!(scan.abs_max(), 4.0);
+        assert!((scan.zero_fraction() - 3.0 / 7.0).abs() < 1e-12);
+        // Threshold agrees with the slice-level function over the non-zero
+        // subpopulation.
+        let nonzero: Vec<f32> = values.iter().copied().filter(|&v| v != 0.0).collect();
+        let mut s2 = scan.clone();
+        assert_eq!(
+            s2.threshold(0.5).to_bits(),
+            magnitude_threshold(&nonzero, 0.5).to_bits()
+        );
+        assert_eq!(scan.threshold(0.0), f32::INFINITY);
+    }
+
+    #[test]
+    fn value_scan_merge_is_order_preserving_concatenation() {
+        let values: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) * 0.1).collect();
+        let mut whole = ValueScan::new();
+        whole.extend_slice(&values);
+        let mut parts = ValueScan::new();
+        for chunk in values.chunks(7) {
+            let mut part = ValueScan::new();
+            part.extend_slice(chunk);
+            parts.merge(part);
+        }
+        assert_eq!(whole, parts);
     }
 }

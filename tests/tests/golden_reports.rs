@@ -52,6 +52,13 @@ fn fig14_matches_golden() {
 }
 
 #[test]
+fn fig16_matches_golden() {
+    // The calibration-heaviest figure: locks the sort-free threshold
+    // selection and fused extraction to the pre-fusion report bytes.
+    check("fig16");
+}
+
+#[test]
 fn fig18_matches_golden() {
     check("fig18");
 }

@@ -6,13 +6,22 @@
 //! [`ola_sim::workload::LayerWorkload`] relies on: chunk statistics bounded
 //! by the 16-lane chunk width, counts and fractions in range, and geometry
 //! (MACs, weight counts, shapes) independent of the quantization policy.
+//!
+//! The fused/parallel extraction pipeline is additionally pinned to the
+//! retained multi-pass oracle ([`ola_sim::workload::oracle`]): every field
+//! of every layer byte-for-byte (floats by bit pattern), over randomized
+//! policies, worker counts, and — in a second suite — randomized network
+//! shapes including non-multiple-of-16 channel counts.
 
 use ola_energy::ComparisonMode;
 use ola_harness::prep::Prepared;
+use ola_nn::synth::{synthesize_params, SynthConfig};
+use ola_nn::{Conv2dSpec, LinearSpec, Network, Op};
 use ola_sim::policy::FirstLayerPolicy;
-use ola_sim::workload::WorkloadSet;
+use ola_sim::workload::{extract_from_acts_jobs, oracle, WorkloadSet};
 use ola_sim::QuantPolicy;
-use ola_tensor::CHUNK_LANES;
+use ola_tensor::init::uniform_tensor;
+use ola_tensor::{ConvGeometry, Shape4, CHUNK_LANES};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
@@ -146,6 +155,73 @@ proptest! {
             prop_assert_eq!(&a.chunk_nnz, &b.chunk_nnz);
             prop_assert_eq!(a.act_zero_fraction, b.act_zero_fraction);
         }
+    }
+
+    #[test]
+    fn fused_extraction_bitwise_matches_oracle(
+        ratio in 0.0f64..0.12,
+        bits16 in prop::bool::ANY,
+        first in 0u8..3,
+        jobs in 1usize..6,
+    ) {
+        // The determinism contract: the fused single-pass parallel pipeline
+        // reproduces the historical multi-pass serial pipeline exactly —
+        // every field of every layer, floats compared by bit pattern — at
+        // any worker count.
+        let policy = policy_from(ratio, bits16, first, 4);
+        let p = prep();
+        let reference = oracle::extract_from_acts(&p.net, &p.params, &p.acts, &policy);
+        let fused = extract_from_acts_jobs(&p.net, &p.params, &p.acts, &policy, jobs);
+        prop_assert!(
+            fused.bitwise_eq(&reference),
+            "fused extraction diverged from oracle at jobs={jobs}, ratio={ratio}"
+        );
+    }
+
+    #[test]
+    fn fused_matches_oracle_on_random_networks(
+        cin in 1usize..20,
+        cmid in 1usize..36,
+        spatial in 5usize..12,
+        kernel in 1usize..4,
+        classes in 1usize..20,
+        ratio in 0.0f64..0.12,
+        jobs in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        // Same contract over randomized geometry: channel counts off the
+        // 16-lane grid, odd spatial sizes, 1x1..3x3 kernels, tiny FCs.
+        let pad = kernel / 2;
+        let mut net = Network::new("prop", Shape4::new(1, cin, spatial, spatial));
+        let c1 = net.add(
+            "conv1",
+            Op::Conv(Conv2dSpec::new(cin, cmid, ConvGeometry::new(kernel, 1, pad))),
+            &[0],
+        );
+        let r1 = net.add("relu1", Op::ReLU, &[c1]);
+        let c2 = net.add(
+            "conv2",
+            Op::Conv(Conv2dSpec::new(cmid, cmid, ConvGeometry::new(1, 1, 0))),
+            &[r1],
+        );
+        let r2 = net.add("relu2", Op::ReLU, &[c2]);
+        // conv1's output side (stride 1): spatial + 2*pad - kernel + 1;
+        // conv2 is 1x1/0-pad and preserves it.
+        let out_s = spatial + 2 * pad - kernel + 1;
+        let features = cmid * out_s * out_s;
+        net.add("fc", Op::Linear(LinearSpec::new(features, classes)), &[r2]);
+
+        let params = synthesize_params(&net, &SynthConfig::default());
+        let input = uniform_tensor(net.input_shape(), -1.0, 1.0, seed);
+        let acts = net.forward(&params, &input);
+        let policy = policy_from(ratio, true, 0, 4);
+        let reference = oracle::extract_from_acts(&net, &params, &acts, &policy);
+        let fused = extract_from_acts_jobs(&net, &params, &acts, &policy, jobs);
+        prop_assert!(
+            fused.bitwise_eq(&reference),
+            "random net (cin={cin}, cmid={cmid}, s={spatial}, k={kernel}) \
+             diverged at jobs={jobs}, ratio={ratio}"
+        );
     }
 
     #[test]
