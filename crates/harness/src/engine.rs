@@ -140,6 +140,7 @@ where
     let inner = (jobs / outer).max(1);
     ola_nn::kernels::set_forward_jobs(inner);
     ola_sim::workload::set_extract_jobs(inner);
+    ola_tensor::par::set_fill_jobs(inner);
     let start = Instant::now();
     let stats_before = PrepCache::global().stats();
     let phases_before = timing::snapshot();

@@ -29,9 +29,16 @@ pub struct TrainedSynthNet {
 
 impl TrainedSynthNet {
     /// Trains a fresh SynthNet (`fast` trims dataset size and epochs).
+    ///
+    /// Training runs on the engine's per-experiment worker budget
+    /// (`ola_nn::kernels::forward_jobs`) with an order-fixed gradient
+    /// reduction, so the trained weights — and both figures derived from
+    /// them — are byte-identical at any `--jobs` value.
     pub fn train(fast: bool) -> Self {
         let (n, epochs) = if fast { (700, 8) } else { (2400, 16) };
-        let all = SynthDataset::generate(n + 400, 10, 0x5EED);
+        let all = crate::timing::timed(crate::timing::Phase::Synthesize, || {
+            SynthDataset::generate(n + 400, 10, 0x5EED)
+        });
         let train = SynthDataset {
             images: all.images[..n].to_vec(),
             labels: all.labels[..n].to_vec(),
@@ -43,7 +50,9 @@ impl TrainedSynthNet {
             classes: 10,
         };
         let mut net = SynthNet::new(10, 0xCAFE);
-        net.train(&train, epochs, 0.02, 0xBEEF);
+        crate::timing::timed(crate::timing::Phase::Train, || {
+            net.train(&train, epochs, 0.02, 0xBEEF)
+        });
         let fp_top1 = net.accuracy(&test);
         let fp_top5 = net.topk_accuracy_with(&test, 5, |_, _| ());
         TrainedSynthNet {

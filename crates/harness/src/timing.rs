@@ -20,17 +20,21 @@ pub enum Phase {
     Forward,
     /// Workload extraction (calibration + chunk statistics).
     Extract,
+    /// SynthNet SGD training (the fig2/fig3 accuracy experiments).
+    Train,
 }
 
 static SYNTHESIZE_NS: AtomicU64 = AtomicU64::new(0);
 static FORWARD_NS: AtomicU64 = AtomicU64::new(0);
 static EXTRACT_NS: AtomicU64 = AtomicU64::new(0);
+static TRAIN_NS: AtomicU64 = AtomicU64::new(0);
 
 fn counter(phase: Phase) -> &'static AtomicU64 {
     match phase {
         Phase::Synthesize => &SYNTHESIZE_NS,
         Phase::Forward => &FORWARD_NS,
         Phase::Extract => &EXTRACT_NS,
+        Phase::Train => &TRAIN_NS,
     }
 }
 
@@ -56,12 +60,14 @@ pub struct PhaseStats {
     pub forward: Duration,
     /// Time spent extracting workloads.
     pub extract: Duration,
+    /// Time spent training SynthNet for the accuracy figures.
+    pub train: Duration,
 }
 
 impl PhaseStats {
     /// The sum of the instrumented phases.
     pub fn instrumented(&self) -> Duration {
-        self.synthesize + self.forward + self.extract
+        self.synthesize + self.forward + self.extract + self.train
     }
 
     /// The phase-wise difference `self - before` (saturating), for
@@ -71,6 +77,7 @@ impl PhaseStats {
             synthesize: self.synthesize.saturating_sub(before.synthesize),
             forward: self.forward.saturating_sub(before.forward),
             extract: self.extract.saturating_sub(before.extract),
+            train: self.train.saturating_sub(before.train),
         }
     }
 
@@ -80,10 +87,11 @@ impl PhaseStats {
     pub fn render(&self, busy: Duration) -> String {
         let model = busy.saturating_sub(self.instrumented());
         format!(
-            "phases: synthesize {:.3}s, forward {:.3}s, extract {:.3}s, model+report {:.3}s",
+            "phases: synthesize {:.3}s, forward {:.3}s, extract {:.3}s, train {:.3}s, model+report {:.3}s",
             self.synthesize.as_secs_f64(),
             self.forward.as_secs_f64(),
             self.extract.as_secs_f64(),
+            self.train.as_secs_f64(),
             model.as_secs_f64(),
         )
     }
@@ -95,6 +103,7 @@ pub fn snapshot() -> PhaseStats {
         synthesize: Duration::from_nanos(SYNTHESIZE_NS.load(Ordering::Relaxed)),
         forward: Duration::from_nanos(FORWARD_NS.load(Ordering::Relaxed)),
         extract: Duration::from_nanos(EXTRACT_NS.load(Ordering::Relaxed)),
+        train: Duration::from_nanos(TRAIN_NS.load(Ordering::Relaxed)),
     }
 }
 

@@ -10,15 +10,18 @@ use crate::layer::Op;
 use crate::network::{Network, NodeId, Params, WeightStore};
 use ola_tensor::init::{heavy_tailed_tensor, prune_to_sparsity, HeavyTailed};
 use ola_tensor::{Shape4, Tensor};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::rngs::Philox;
+use rand::Rng;
 
 /// A deterministic, lazily-generated weight matrix.
 ///
-/// Row `i` is generated on demand from `seed ^ hash(i)`, drawn from a
-/// [`HeavyTailed`] mixture, then magnitude-pruned per row to `sparsity`.
-/// Two calls with the same parameters produce identical rows, so statistics
-/// sampled from any subset of rows are faithful to the "whole" matrix.
+/// Row `i` is generated on demand from its own counter-based [`Philox`]
+/// stream `(seed, i)`, drawn from a [`HeavyTailed`] mixture, then
+/// magnitude-pruned per row to `sparsity`. A row is a pure function of
+/// `(seed, i)` — independent of which rows were generated before it or on
+/// which worker — so rows regenerate bit-identically in any order, chunking,
+/// or worker count, and statistics sampled from any subset of rows are
+/// faithful to the "whole" matrix.
 ///
 /// Used for the fully-connected layers whose materialized weights would be
 /// hundreds of megabytes (VGG-16 fc6 is 25088x4096).
@@ -77,11 +80,9 @@ impl SyntheticMatrix {
     pub fn fill_row(&self, i: usize, row: &mut [f32]) {
         assert!(i < self.rows, "row {i} out of range");
         assert_eq!(row.len(), self.cols, "row buffer length mismatch");
-        // SplitMix64-style seed mixing keeps rows decorrelated.
-        let mut z = self.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        let mut rng = StdRng::seed_from_u64(z ^ (z >> 31));
+        // One Philox stream per row: structurally disjoint from every other
+        // row's stream (distinct counter-space halves), no mixing heuristics.
+        let mut rng = Philox::new(self.seed, i as u64);
         for v in row.iter_mut() {
             *v = self.dist.sample(&mut rng);
         }
@@ -318,7 +319,7 @@ pub fn synthesize_params(net: &Network, cfg: &SynthConfig) -> Params {
             }
             Op::BatchNorm => {
                 let c = shapes[node.inputs[0]].c;
-                let mut rng = StdRng::seed_from_u64(seed);
+                let mut rng = Philox::new(seed, 0);
                 let scale: Vec<f32> = (0..c).map(|_| rng.gen_range(0.7..1.3)).collect();
                 // Slight negative shift drives realistic post-ReLU sparsity.
                 let shift: Vec<f32> = (0..c).map(|_| rng.gen_range(-0.15..0.05)).collect();
@@ -331,7 +332,7 @@ pub fn synthesize_params(net: &Network, cfg: &SynthConfig) -> Params {
 }
 
 fn small_bias(n: usize, seed: u64) -> Vec<f32> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Philox::new(seed, 0);
     (0..n).map(|_| rng.gen_range(-0.01..0.01)).collect()
 }
 
@@ -408,7 +409,10 @@ where
             // Pre-ReLU values are the ReLU node's input.
             let pre = &outs[net.nodes()[relu_node].inputs[0]];
             let mut vals: Vec<f32> = pre.as_slice().to_vec();
-            vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            // total_cmp is NaN-sound (PR-5 comparator contract): a NaN
+            // pre-activation sorts to the top instead of scrambling the
+            // quantile order.
+            vals.sort_by(f32::total_cmp);
             let k = ((vals.len() as f64 * t) as usize).min(vals.len() - 1);
             let shift = -vals[k];
             if let Some(bn_node) = bn {

@@ -11,9 +11,27 @@
 //!
 //! The architecture is fixed: conv(3->16) relu pool conv(16->32) relu pool
 //! conv(32->32) relu, fc(288->64) relu, fc(64->C) over 12x12x3 inputs.
+//!
+//! # Seeding contract
+//!
+//! Dataset samples, weight initialization, and the per-epoch shuffle all
+//! draw from counter-based [`Philox`] streams: sample `j` comes from stream
+//! `j`, weight element `e` of layer `l` from stream `(l << 32) | e`, epoch
+//! `e`'s shuffle from stream `e`. Each draw is a pure function of
+//! `(seed, stream)` — independent of generation order or worker count — so
+//! dataset synthesis and the per-sample minibatch gradients parallelize
+//! bit-stably: [`SynthNet::train_jobs`] reduces per-sample gradients in
+//! sample order at *every* worker count, making the trained weights
+//! byte-identical from `--jobs 1` to `--jobs N`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ola_tensor::par::ordered_map;
+use rand::rngs::Philox;
+use rand::Rng;
+
+/// Stream id reserved for dataset-level draws (the common component and the
+/// class prototypes); per-sample streams use the sample index, which stays
+/// far below this.
+const META_STREAM: u64 = 1 << 63;
 
 /// Input side length.
 pub const IMG: usize = 12;
@@ -34,25 +52,41 @@ pub struct SynthDataset {
 impl SynthDataset {
     /// Generates `n` samples of a `classes`-way task: each class is a random
     /// spatial prototype; samples are noisy, randomly-scaled copies.
+    ///
+    /// Sample `j` is a pure function of `(seed, j)` (its own Philox stream),
+    /// so the dataset is bit-identical at any generation order or worker
+    /// count — and a longer dataset is a strict prefix-extension of a
+    /// shorter one with the same seed.
     pub fn generate(n: usize, classes: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut meta = Philox::new(seed, META_STREAM);
         let dim = IMG_C * IMG * IMG;
         // Prototypes share a common component so classes are close together
         // and the decision boundary is tight — quantization noise then costs
         // accuracy the way it does on ImageNet-scale tasks.
-        let common: Vec<f32> = (0..dim).map(|_| gauss(&mut rng)).collect();
+        let common: Vec<f32> = (0..dim).map(|_| gauss(&mut meta)).collect();
         let prototypes: Vec<Vec<f32>> = (0..classes)
-            .map(|_| common.iter().map(|&c| c + gauss(&mut rng) * 0.55).collect())
+            .map(|_| {
+                common
+                    .iter()
+                    .map(|&c| c + gauss(&mut meta) * 0.55)
+                    .collect()
+            })
             .collect();
-        let mut images = Vec::with_capacity(n);
-        let mut labels = Vec::with_capacity(n);
-        for _ in 0..n {
+        let indices: Vec<usize> = (0..n).collect();
+        let jobs = ola_tensor::par::fill_jobs();
+        let samples = ordered_map(&indices, jobs, |_, &j| {
+            let mut rng = Philox::new(seed, j as u64);
             let k = rng.gen_range(0..classes);
             let scale: f32 = rng.gen_range(0.6..1.4);
             let img: Vec<f32> = prototypes[k]
                 .iter()
                 .map(|&p| p * scale + gauss(&mut rng) * 0.7)
                 .collect();
+            (img, k)
+        });
+        let mut images = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for (img, k) in samples {
             images.push(img);
             labels.push(k);
         }
@@ -150,11 +184,14 @@ impl SynthNet {
     /// seeded at initialization and survive training — giving the quantizers
     /// the same distribution shape the paper's mechanism targets.
     pub fn new(classes: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut init = |n: usize, fan_in: usize| -> Vec<f32> {
+        // Weight element e of layer lid draws from stream (lid << 32) | e —
+        // a pure function of (seed, lid, e), so initialization never depends
+        // on the sizes of earlier layers or the order elements are filled.
+        let init = |lid: u64, n: usize, fan_in: usize| -> Vec<f32> {
             let s = (2.0 / fan_in as f32).sqrt();
             (0..n)
-                .map(|_| {
+                .map(|e| {
+                    let mut rng = Philox::new(seed, (lid << 32) | e as u64);
                     let tail = if rng.gen_range(0.0..1.0) < 0.03 {
                         5.0
                     } else {
@@ -165,15 +202,15 @@ impl SynthNet {
                 .collect()
         };
         SynthNet {
-            w1: init(C1 * IMG_C * 9, IMG_C * 9),
+            w1: init(1, C1 * IMG_C * 9, IMG_C * 9),
             b1: vec![0.0; C1],
-            w2: init(C2 * C1 * 9, C1 * 9),
+            w2: init(2, C2 * C1 * 9, C1 * 9),
             b2: vec![0.0; C2],
-            w3: init(C3 * C2 * 9, C2 * 9),
+            w3: init(3, C3 * C2 * 9, C2 * 9),
             b3: vec![0.0; C3],
-            w4: init(FC1 * FLAT, FLAT),
+            w4: init(4, FC1 * FLAT, FLAT),
             b4: vec![0.0; FC1],
-            w5: init(classes * FC1, FC1),
+            w5: init(5, classes * FC1, FC1),
             b5: vec![0.0; classes],
             classes,
         }
@@ -269,9 +306,22 @@ impl SynthNet {
         let mut correct = 0usize;
         for (img, &label) in data.images.iter().zip(&data.labels) {
             let logits = self.forward_with(img, &mut act);
-            let mut idx: Vec<usize> = (0..logits.len()).collect();
-            idx.sort_by(|&a, &b| logits[b].partial_cmp(&logits[a]).unwrap());
-            if idx.iter().take(k).any(|&i| i == label) {
+            // Single-pass NaN-sound rank instead of sorting the full logit
+            // vector (which panicked on NaN via partial_cmp().unwrap()):
+            // the label is in the top k iff fewer than k logits outrank it
+            // under the stable-descending order — strictly greater, or equal
+            // with a smaller index (total_cmp puts NaN above every finite
+            // logit, matching "a NaN logit beats the label").
+            let rank = logits
+                .iter()
+                .enumerate()
+                .filter(|&(i, v)| match v.total_cmp(&logits[label]) {
+                    std::cmp::Ordering::Greater => true,
+                    std::cmp::Ordering::Equal => i < label,
+                    std::cmp::Ordering::Less => false,
+                })
+                .count();
+            if rank < k {
                 correct += 1;
             }
         }
@@ -280,10 +330,33 @@ impl SynthNet {
 
     /// Trains with SGD + momentum for `epochs` passes over `data`.
     /// Returns the final training accuracy.
+    ///
+    /// Uses the process-wide forward-kernel worker budget
+    /// ([`crate::kernels::forward_jobs`]) for the minibatch gradients; see
+    /// [`SynthNet::train_jobs`] for the determinism guarantee.
     pub fn train(&mut self, data: &SynthDataset, epochs: usize, lr: f32, seed: u64) -> f64 {
-        let mut rng = StdRng::seed_from_u64(seed);
+        self.train_jobs(data, epochs, lr, seed, crate::kernels::forward_jobs())
+    }
+
+    /// [`SynthNet::train`] with an explicit worker count for the per-sample
+    /// minibatch gradients.
+    ///
+    /// Each sample's gradient is computed independently (any worker, any
+    /// order) and the per-sample gradients are then summed **in sample
+    /// order** — the same reduction shape at every `jobs` value — so the
+    /// trained weights are byte-identical from 1 worker to N. The per-epoch
+    /// shuffle draws from the counter-based stream `(seed, epoch)`.
+    pub fn train_jobs(
+        &mut self,
+        data: &SynthDataset,
+        epochs: usize,
+        lr: f32,
+        seed: u64,
+        jobs: usize,
+    ) -> f64 {
         let mut vel = Gradients::zeros(self.classes);
         for epoch in 0..epochs {
+            let mut rng = Philox::new(seed, epoch as u64);
             let mut order: Vec<usize> = (0..data.len()).collect();
             // Fisher-Yates shuffle.
             for i in (1..order.len()).rev() {
@@ -291,9 +364,14 @@ impl SynthNet {
             }
             let lr_e = lr / (1.0 + 0.15 * epoch as f32);
             for batch in order.chunks(16) {
+                let per_sample = ordered_map(batch, jobs, |_, &i| {
+                    let mut g = Gradients::zeros(self.classes);
+                    self.backward(&data.images[i], data.labels[i], &mut g);
+                    g
+                });
                 let mut grads = Gradients::zeros(self.classes);
-                for &i in batch {
-                    self.backward(&data.images[i], data.labels[i], &mut grads);
+                for g in &per_sample {
+                    grads.add(g);
                 }
                 let mut scale = 1.0 / batch.len() as f32;
                 // Global-norm gradient clipping: the heavy-tailed
@@ -405,6 +483,28 @@ impl Gradients {
             b4: vec![0.0; FC1],
             w5: vec![0.0; classes * FC1],
             b5: vec![0.0; classes],
+        }
+    }
+
+    /// `self += other` field-wise. Summing per-sample gradients with this,
+    /// in sample order, is the fixed reduction shape that keeps parallel
+    /// training bit-identical at any worker count.
+    fn add(&mut self, other: &Gradients) {
+        for (a, b) in [
+            (&mut self.w1, &other.w1),
+            (&mut self.b1, &other.b1),
+            (&mut self.w2, &other.w2),
+            (&mut self.b2, &other.b2),
+            (&mut self.w3, &other.w3),
+            (&mut self.b3, &other.b3),
+            (&mut self.w4, &other.w4),
+            (&mut self.b4, &other.b4),
+            (&mut self.w5, &other.w5),
+            (&mut self.b5, &other.b5),
+        ] {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += *y;
+            }
         }
     }
 
@@ -610,10 +710,12 @@ fn softmax(logits: &[f32]) -> Vec<f32> {
     exps.into_iter().map(|e| e / s).collect()
 }
 
+/// Single-pass NaN-sound argmax: `total_cmp` gives a total order (NaN above
+/// all finite values), first index wins ties.
 fn argmax(v: &[f32]) -> usize {
     let mut best = 0;
     for i in 1..v.len() {
-        if v[i] > v[best] {
+        if v[i].total_cmp(&v[best]) == std::cmp::Ordering::Greater {
             best = i;
         }
     }
@@ -706,6 +808,108 @@ mod tests {
             assert!(
                 (num - ana).abs() < 5e-2 * (1.0 + num.abs().max(ana.abs())),
                 "w1[{wi}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn argmax_is_nan_sound() {
+        // NaN sorts above every finite logit under total_cmp, so a NaN
+        // prediction is deterministic (first NaN wins) and never panics.
+        assert_eq!(argmax(&[0.1, 0.9, 0.3]), 1);
+        assert_eq!(argmax(&[0.1, 0.9, 0.9]), 1, "first index wins ties");
+        assert_eq!(argmax(&[0.1, f32::NAN, 0.9]), 1);
+        assert_eq!(argmax(&[f32::NAN, f32::NAN, 0.9]), 0);
+        assert_eq!(argmax(&[f32::NEG_INFINITY, -1.0]), 1);
+    }
+
+    #[test]
+    fn topk_accuracy_survives_nan_logits() {
+        // The old implementation sorted the full logit vector with
+        // partial_cmp().unwrap() and panicked the moment any logit went NaN.
+        let net = SynthNet::new(4, 8);
+        let data = SynthDataset::generate(20, 4, 8);
+        let acc = net.topk_accuracy_with(&data, 2, |layer, a| {
+            if layer == LayerId::Fc1 {
+                a.fill(f32::NAN);
+            }
+        });
+        // All logits NaN => every logit "outranks" by index order only; the
+        // label ranks at its own position. The exact value is not the point —
+        // not panicking and staying in [0,1] is.
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn topk_rank_matches_sort_reference() {
+        let net = SynthNet::new(6, 12);
+        let data = SynthDataset::generate(50, 6, 13);
+        for k in [1, 2, 4] {
+            let got = net.topk_accuracy_with(&data, k, |_, _| ());
+            // Reference: the old stable descending sort (finite logits).
+            let mut correct = 0usize;
+            for (img, &label) in data.images.iter().zip(&data.labels) {
+                let logits = net.forward(img);
+                let mut idx: Vec<usize> = (0..logits.len()).collect();
+                idx.sort_by(|&a, &b| logits[b].total_cmp(&logits[a]));
+                if idx.iter().take(k).any(|&i| i == label) {
+                    correct += 1;
+                }
+            }
+            assert_eq!(got, correct as f64 / data.len() as f64, "k={k}");
+        }
+        // top-1 agrees with argmax-based accuracy on finite logits.
+        assert_eq!(
+            net.topk_accuracy_with(&data, 1, |_, _| ()),
+            net.accuracy(&data)
+        );
+    }
+
+    #[test]
+    fn dataset_bit_identical_across_worker_counts() {
+        let serial = SynthDataset::generate(120, 5, 42);
+        ola_tensor::par::set_fill_jobs(4);
+        let parallel = SynthDataset::generate(120, 5, 42);
+        ola_tensor::par::set_fill_jobs(1);
+        assert_eq!(serial.labels, parallel.labels);
+        for (a, b) in serial.images.iter().zip(&parallel.images) {
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn dataset_prefix_extension_property() {
+        // Sample j depends only on (seed, j): a longer dataset starts with
+        // exactly the shorter one.
+        let short = SynthDataset::generate(30, 4, 7);
+        let long = SynthDataset::generate(90, 4, 7);
+        assert_eq!(&long.labels[..30], &short.labels[..]);
+        assert_eq!(&long.images[..30], &short.images[..]);
+    }
+
+    #[test]
+    fn training_bit_identical_across_worker_counts() {
+        let data = SynthDataset::generate(64, 3, 11);
+        let mut serial = SynthNet::new(3, 21);
+        serial.train_jobs(&data, 2, 0.02, 31, 1);
+        let mut parallel = SynthNet::new(3, 21);
+        parallel.train_jobs(&data, 2, 0.02, 31, 3);
+        for layer in LAYERS {
+            assert_eq!(
+                serial
+                    .weights(layer)
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                parallel
+                    .weights(layer)
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "{layer:?} drifted between 1 and 3 workers"
             );
         }
     }

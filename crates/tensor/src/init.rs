@@ -5,12 +5,35 @@
 //! *distributions* match what the paper relies on: near-Laplacian bulk with
 //! heavy tails (Fig 1's outliers), and activations that become sparse and
 //! non-negative after ReLU.
+//!
+//! # Seeding contract
+//!
+//! Every element is drawn from its own counter-based [`Philox`] stream,
+//! `Philox::new(seed, element_index)`: the value at index `i` is a pure
+//! function of `(seed, i)` and never depends on how many elements came
+//! before it, which worker generated it, or in what order. That is what
+//! lets the fills below run data-parallel (via [`crate::par::fill_indexed`]
+//! at the process-wide [`crate::par::fill_jobs`] width) while staying
+//! bit-identical to the serial reference at any worker count.
 
+use crate::par;
 use crate::shape::Shape4;
 use crate::tensor::Tensor;
 use rand::distributions::Distribution;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::rngs::Philox;
+use rand::Rng;
+
+/// Below this element count a parallel fill costs more in thread spawn than
+/// it saves; run inline instead. Bits are identical either way.
+const PAR_FILL_CUTOFF: usize = 4096;
+
+fn fill_workers(len: usize) -> usize {
+    if len < PAR_FILL_CUTOFF {
+        1
+    } else {
+        par::fill_jobs()
+    }
+}
 
 /// A two-component scale mixture used to synthesize trained-like weights.
 ///
@@ -85,32 +108,39 @@ fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f32 {
     ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
 }
 
-/// Fills a new tensor with heavy-tailed synthetic weights.
+/// Fills a new tensor with heavy-tailed synthetic weights. Element `i` is
+/// a pure function of `(seed, i)`; see the module-level seeding contract.
 pub fn heavy_tailed_tensor(shape: Shape4, dist: HeavyTailed, seed: u64) -> Tensor {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let data = (0..shape.len()).map(|_| dist.sample(&mut rng)).collect();
+    let mut data = vec![0.0f32; shape.len()];
+    par::fill_indexed(&mut data, fill_workers(shape.len()), |i| {
+        dist.sample(&mut Philox::new(seed, i as u64))
+    });
     Tensor::from_vec(shape, data)
 }
 
 /// Fills a new tensor with standard-normal values scaled by `sigma`.
+/// Element `i` is a pure function of `(seed, i)`.
 pub fn gaussian_tensor(shape: Shape4, sigma: f32, seed: u64) -> Tensor {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let data = (0..shape.len())
-        .map(|_| gaussian(&mut rng) * sigma)
-        .collect();
+    let mut data = vec![0.0f32; shape.len()];
+    par::fill_indexed(&mut data, fill_workers(shape.len()), |i| {
+        gaussian(&mut Philox::new(seed, i as u64)) * sigma
+    });
     Tensor::from_vec(shape, data)
 }
 
 /// Fills a new tensor with uniform values in `[lo, hi)` — used for synthetic
-/// raw input images (the first layer's 8/16-bit activations).
+/// raw input images (the first layer's 8/16-bit activations). Element `i`
+/// is a pure function of `(seed, i)`.
 ///
 /// # Panics
 ///
 /// Panics if `lo >= hi`.
 pub fn uniform_tensor(shape: Shape4, lo: f32, hi: f32, seed: u64) -> Tensor {
     assert!(lo < hi, "lo must be less than hi");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let data = (0..shape.len()).map(|_| rng.gen_range(lo..hi)).collect();
+    let mut data = vec![0.0f32; shape.len()];
+    par::fill_indexed(&mut data, fill_workers(shape.len()), |i| {
+        Philox::new(seed, i as u64).gen_range(lo..hi)
+    });
     Tensor::from_vec(shape, data)
 }
 
@@ -130,13 +160,22 @@ pub fn prune_to_sparsity(tensor: &mut Tensor, sparsity: f64) -> usize {
     if k == 0 {
         return 0;
     }
-    let mut order: Vec<usize> = (0..n).collect();
     let data = tensor.as_mut_slice();
-    order.sort_by(|&a, &b| {
+    if k >= n {
+        data.fill(0.0);
+        return n;
+    }
+    // Selection on the tie-free (|v|, index) total order: `total_cmp` makes
+    // NaN compare (largest, so never pruned before finite values) instead of
+    // silently breaking the sort, and the index tiebreak makes the k-smallest
+    // set identical to what the old stable full sort chose on finite inputs —
+    // in O(n) instead of O(n log n).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.select_nth_unstable_by(k - 1, |&a, &b| {
         data[a]
             .abs()
-            .partial_cmp(&data[b].abs())
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&data[b].abs())
+            .then_with(|| a.cmp(&b))
     });
     for &i in order.iter().take(k) {
         data[i] = 0.0;
@@ -216,6 +255,75 @@ mod tests {
         );
         let big = t.iter().filter(|v| v.abs() > 0.08).count() as f64 / t.len() as f64;
         assert!(big > 0.005 && big < 0.04, "tail mass {big}");
+    }
+
+    #[test]
+    fn prune_matches_stable_sort_reference() {
+        // The selection path must zero exactly the set the old stable full
+        // sort zeroed, including under duplicated magnitudes and sign ties.
+        let shape = Shape4::new(1, 2, 9, 7);
+        let mut t = gaussian_tensor(shape, 1.0, 77);
+        {
+            let data = t.as_mut_slice();
+            data[5] = 0.25;
+            data[17] = -0.25;
+            data[40] = 0.25;
+            data[41] = -0.0;
+            data[42] = 0.0;
+        }
+        let mut reference = t.clone();
+        let k = {
+            let data = reference.as_mut_slice();
+            let mut order: Vec<usize> = (0..data.len()).collect();
+            order.sort_by(|&a, &b| {
+                data[a]
+                    .abs()
+                    .total_cmp(&data[b].abs())
+                    .then_with(|| a.cmp(&b))
+            });
+            let k = (data.len() as f64 * 0.45).round() as usize;
+            for &i in order.iter().take(k) {
+                data[i] = 0.0;
+            }
+            k
+        };
+        assert_eq!(prune_to_sparsity(&mut t, 0.45), k);
+        assert_eq!(t.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn prune_is_nan_sound() {
+        // NaN compares largest under total_cmp, so it is never chosen for
+        // pruning ahead of finite values — and the call must not panic.
+        let mut t = Tensor::from_vec(
+            Shape4::new(1, 1, 1, 5),
+            vec![1.0, f32::NAN, -0.0, 0.5, -2.0],
+        );
+        assert_eq!(prune_to_sparsity(&mut t, 0.4), 2);
+        let out = t.as_slice();
+        assert_eq!(out[0], 1.0);
+        assert!(out[1].is_nan(), "NaN must survive pruning");
+        assert_eq!(out[2], 0.0);
+        assert_eq!(out[3], 0.0, "-0.0 and 0.5 are the two smallest magnitudes");
+        assert_eq!(out[4], -2.0);
+    }
+
+    #[test]
+    fn fills_bit_identical_across_worker_counts() {
+        // The seeding contract: element i depends only on (seed, i), so the
+        // same tensor comes out at any fill width. 100x120 clears the
+        // parallel cutoff.
+        let shape = Shape4::new(1, 1, 100, 120);
+        let serial = heavy_tailed_tensor(shape, HeavyTailed::default(), 99);
+        crate::par::set_fill_jobs(4);
+        let parallel = heavy_tailed_tensor(shape, HeavyTailed::default(), 99);
+        crate::par::set_fill_jobs(1);
+        assert_eq!(serial, parallel);
+        let u_serial = uniform_tensor(shape, -1.0, 1.0, 21);
+        crate::par::set_fill_jobs(3);
+        let u_parallel = uniform_tensor(shape, -1.0, 1.0, 21);
+        crate::par::set_fill_jobs(1);
+        assert_eq!(u_serial, u_parallel);
     }
 
     #[test]

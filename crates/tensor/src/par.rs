@@ -24,6 +24,67 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// Worker threads the random-fill paths ([`crate::init`]) use when the
+/// caller does not pass an explicit count. Defaults to 1 (serial); the
+/// experiment engine raises it alongside the forward-kernel budget. Fills
+/// are bit-identical at any value — every element is a pure function of
+/// its index under the counter-based seeding contract — so this only
+/// trades wall-time.
+static FILL_JOBS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the process-wide default worker count for the random-fill paths.
+///
+/// # Panics
+///
+/// Panics if `jobs` is zero.
+pub fn set_fill_jobs(jobs: usize) {
+    assert!(jobs > 0, "fill worker count must be positive");
+    FILL_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// Current process-wide default random-fill worker count.
+pub fn fill_jobs() -> usize {
+    FILL_JOBS.load(Ordering::Relaxed)
+}
+
+/// Fills `out[i] = f(i)` for every index, splitting contiguous chunks
+/// across `jobs` scoped worker threads.
+///
+/// Because each slot is a pure function of its own index, the result is
+/// bit-identical at any worker count or chunking — the counterpart of
+/// [`ordered_map`] for writing into an existing buffer without a
+/// per-item result vector. With `jobs == 1` (or a tiny buffer) the fill
+/// runs inline with no synchronization.
+///
+/// # Panics
+///
+/// Panics if `jobs` is zero, and propagates panics raised inside `f`.
+pub fn fill_indexed<T, F>(out: &mut [T], jobs: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(jobs > 0, "fill_indexed needs at least one worker");
+    if jobs == 1 || out.len() <= 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return;
+    }
+    let chunk = out.len().div_ceil(jobs);
+    std::thread::scope(|scope| {
+        for (ci, slice) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                let base = ci * chunk;
+                for (j, slot) in slice.iter_mut().enumerate() {
+                    *slot = f(base + j);
+                }
+            });
+        }
+    });
+}
+
 /// Applies `f` to every item of `items` across `jobs` worker threads and
 /// returns the results in item order.
 ///
@@ -98,5 +159,40 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_jobs_rejected() {
         let _ = ordered_map(&[1u8], 0, |_, &v| v);
+    }
+
+    #[test]
+    fn fill_indexed_matches_serial_at_any_width() {
+        let mut reference = vec![0u64; 1000];
+        fill_indexed(&mut reference, 1, |i| (i as u64).wrapping_mul(0x9E37));
+        for jobs in [2, 3, 7, 16] {
+            let mut out = vec![0u64; 1000];
+            fill_indexed(&mut out, jobs, |i| (i as u64).wrapping_mul(0x9E37));
+            assert_eq!(out, reference, "jobs={jobs} drifted from serial fill");
+        }
+    }
+
+    #[test]
+    fn fill_indexed_handles_empty_and_tiny() {
+        let mut empty: Vec<u8> = vec![];
+        fill_indexed(&mut empty, 4, |i| i as u8);
+        assert!(empty.is_empty());
+        let mut one = vec![0usize];
+        fill_indexed(&mut one, 4, |i| i + 10);
+        assert_eq!(one, [10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn fill_indexed_zero_jobs_rejected() {
+        fill_indexed(&mut [0u8; 2], 0, |i| i as u8);
+    }
+
+    #[test]
+    fn fill_jobs_roundtrip() {
+        assert!(fill_jobs() >= 1);
+        set_fill_jobs(3);
+        assert_eq!(fill_jobs(), 3);
+        set_fill_jobs(1);
     }
 }

@@ -47,6 +47,20 @@ fn check(name: &str) {
 }
 
 #[test]
+fn fig2_matches_golden() {
+    // Locks the whole SynthNet path: counter-based dataset synthesis,
+    // order-fixed parallel SGD, and the quantization sweep. Training is
+    // byte-identical at any worker count, so this snapshot holds at any
+    // `--jobs` value.
+    check("fig2");
+}
+
+#[test]
+fn fig3_matches_golden() {
+    check("fig3");
+}
+
+#[test]
 fn fig14_matches_golden() {
     check("fig14");
 }
