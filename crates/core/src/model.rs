@@ -181,11 +181,15 @@ impl OlAccelSim {
         // DRAM sees each encoded tensor once; the swarm buffer re-serves the
         // activations once per weight tile (weights stream through the small
         // Table I weight buffer).
+        // The traffic model reads only bit widths and the layer's *measured*
+        // outlier counts from the policy; the selection rule already shaped
+        // those counts during extraction, so `select` is inert here.
         let policy = ola_sim::QuantPolicy {
             mode: self.config.mode,
             low_bits: 4,
             outlier_ratio: l.act_outlier_nonzero_ratio,
             first_layer: ola_sim::FirstLayerPolicy::RawActs,
+            select: ola_sim::OutlierSelect::MagnitudePercentile,
         };
         let a_bits = olaccel_act_bits(l, &policy);
         let w_bits = olaccel_weight_bits(l);
@@ -231,11 +235,14 @@ impl OlAccelSim {
         ws.layers
             .iter()
             .map(|l| {
+                // As in `layer_energy`: only widths and measured counts
+                // matter to the bit model, so `select` is inert.
                 let policy = ola_sim::QuantPolicy {
                     mode: self.config.mode,
                     low_bits: 4,
                     outlier_ratio: l.act_outlier_nonzero_ratio,
                     first_layer: ola_sim::FirstLayerPolicy::RawActs,
+                    select: ola_sim::OutlierSelect::MagnitudePercentile,
                 };
                 olaccel_act_bits(l, &policy) + olaccel_weight_bits(l) + olaccel_out_bits(l, &policy)
             })

@@ -4,7 +4,7 @@
 //! olaccel-repro [EXPERIMENT]... [--fast] [--jobs N] [--out DIR]
 //!
 //! EXPERIMENT  fig1 fig2 fig3 table1 fig11 fig12 fig13 fig14 fig15 fig16
-//!             fig17 fig18 fig19 validate validate-<network>
+//!             fig17 fig18 fig19 validate validate-<network> policy-panel
 //!             extra-resnet101 extra-densenet121 compare-<network>
 //!             all (default)
 //! --fast      reduced spatial scale / training budget (CI-friendly)
@@ -29,7 +29,7 @@ const USAGE: &str = "\
 olaccel-repro [EXPERIMENT]... [--fast] [--jobs N] [--out DIR]
 
 EXPERIMENT  fig1 fig2 fig3 table1 fig11 fig12 fig13 fig14 fig15 fig16
-            fig17 fig18 fig19 validate validate-<network>
+            fig17 fig18 fig19 validate validate-<network> policy-panel
             extra-resnet101 extra-densenet121 compare-<network>
             all (default)
 --fast      reduced spatial scale / training budget (CI-friendly)

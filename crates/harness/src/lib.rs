@@ -28,6 +28,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod fig19;
+pub mod policy_panel;
 pub mod prep;
 pub mod report;
 pub mod sensitivity;
@@ -56,6 +57,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "validate",
     "summary",
     "sensitivity",
+    "policy-panel",
 ];
 
 /// Runs one experiment by name, returning its formatted report.
@@ -84,6 +86,7 @@ pub fn run_experiment(name: &str, fast: bool) -> String {
         "validate" => validate::run(fast),
         "summary" => summary::run(),
         "sensitivity" => sensitivity::run(fast),
+        "policy-panel" => policy_panel::run(fast),
         // Extension (DESIGN.md §8): the networks the paper only quantizes,
         // run through the full cycle/energy comparison.
         "extra-resnet101" => fig11_13::run("resnet101", true),
@@ -113,6 +116,6 @@ mod tests {
     fn experiment_list_is_complete() {
         assert!(super::EXPERIMENTS.contains(&"fig11"));
         assert!(super::EXPERIMENTS.contains(&"validate"));
-        assert_eq!(super::EXPERIMENTS.len(), 16);
+        assert_eq!(super::EXPERIMENTS.len(), 17);
     }
 }

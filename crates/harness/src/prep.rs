@@ -181,6 +181,7 @@ pub struct PolicyKey {
     low_bits: u32,
     ratio_bits: u64,
     first_layer: u8,
+    select: ola_sim::OutlierSelect,
 }
 
 /// Canonical bit pattern of an `f64` for cache keying: `-0.0` folds onto
@@ -210,6 +211,9 @@ impl From<&QuantPolicy> for PolicyKey {
                 FirstLayerPolicy::RawActsWideWeights => 1,
                 FirstLayerPolicy::FineTuned4Bit => 2,
             },
+            // `OutlierSelect` is plain data (discriminant + window) and
+            // derives `Eq + Hash` itself.
+            select: p.select,
         }
     }
 }
@@ -459,6 +463,13 @@ mod tests {
         let w_b = cache.workloads_for(&prep, &p16);
         assert!(!Arc::ptr_eq(&w_a, &w_b));
         assert_eq!(cache.stats().workload_misses, 2);
+
+        // The selection rule is part of the identity too: same ratio,
+        // different policy, different extraction.
+        p16.select = ola_sim::OutlierSelect::WindowedTopK { window: 16 };
+        let w_c = cache.workloads_for(&prep, &p16);
+        assert!(!Arc::ptr_eq(&w_b, &w_c), "select must key the cache");
+        assert_eq!(cache.stats().workload_misses, 3);
     }
 
     #[test]

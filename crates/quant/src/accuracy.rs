@@ -16,6 +16,7 @@
 use crate::linear::LinearQuantizer;
 use crate::metrics::sqnr_db;
 use crate::outlier::OutlierQuantizer;
+use crate::policy::{OutlierSelect, PolicyQuantizer};
 use ola_nn::synthnet::{LayerId, SynthDataset, SynthNet};
 
 /// Quantization policy for an accuracy evaluation.
@@ -37,6 +38,9 @@ pub struct QuantSpec {
     pub quantize_weights: bool,
     /// Quantize the activations (disable for the weights-only ablation).
     pub quantize_acts: bool,
+    /// Which outlier-selection rule picks the outliers (magnitude
+    /// percentile reproduces the paper; the others feed the policy panel).
+    pub select: OutlierSelect,
 }
 
 impl QuantSpec {
@@ -50,6 +54,7 @@ impl QuantSpec {
             first_layer_weight_bits: 8,
             quantize_weights: true,
             quantize_acts: true,
+            select: OutlierSelect::MagnitudePercentile,
         }
     }
 
@@ -108,9 +113,31 @@ pub fn evaluate_synthnet(
             return;
         }
         if spec.outlier_ratio > 0.0 {
-            let q = OutlierQuantizer::fit(w, spec.outlier_ratio, low_bits, spec.weight_high_bits);
-            outlier_weights += w.iter().filter(|&&v| q.is_outlier(v)).count();
-            q.fake_quantize_inplace(w);
+            match spec.select {
+                // The paper's path, byte-for-byte as before the policy
+                // abstraction existed.
+                OutlierSelect::MagnitudePercentile => {
+                    let q = OutlierQuantizer::fit(
+                        w,
+                        spec.outlier_ratio,
+                        low_bits,
+                        spec.weight_high_bits,
+                    );
+                    outlier_weights += w.iter().filter(|&&v| q.is_outlier(v)).count();
+                    q.fake_quantize_inplace(w);
+                }
+                select => {
+                    // The weight-side target is a fraction of all weights;
+                    // the policy trait's ratio is over non-zeros.
+                    let nz = w.iter().filter(|&&v| v != 0.0).count().max(1);
+                    let ratio = (spec.outlier_ratio * w.len() as f64 / nz as f64).min(1.0);
+                    if let Some(q) =
+                        PolicyQuantizer::fit(w, ratio, select, low_bits, spec.weight_high_bits)
+                    {
+                        outlier_weights += q.fake_quantize_inplace(w);
+                    }
+                }
+            }
         } else {
             let q = LinearQuantizer::fit_symmetric(low_bits, w).expect("non-zero weights");
             q.fake_quantize_inplace(w);
@@ -131,19 +158,34 @@ pub fn evaluate_synthnet(
             if nonzero.is_empty() {
                 return None;
             }
-            Some(if spec.outlier_ratio > 0.0 {
-                ActQuant::Outlier(OutlierQuantizer::fit(
-                    &nonzero,
-                    spec.outlier_ratio,
-                    spec.low_bits,
-                    spec.act_high_bits,
-                ))
+            if spec.outlier_ratio > 0.0 {
+                match spec.select {
+                    OutlierSelect::MagnitudePercentile => {
+                        Some(ActQuant::Outlier(OutlierQuantizer::fit(
+                            &nonzero,
+                            spec.outlier_ratio,
+                            spec.low_bits,
+                            spec.act_high_bits,
+                        )))
+                    }
+                    // Structured policies calibrate on the unfiltered
+                    // stream: their windows need the real value layout
+                    // (zeros and all), not a compacted non-zero list.
+                    select => PolicyQuantizer::fit(
+                        pop,
+                        spec.outlier_ratio,
+                        select,
+                        spec.low_bits,
+                        spec.act_high_bits,
+                    )
+                    .map(ActQuant::Policy),
+                }
             } else {
-                ActQuant::Linear(
+                Some(ActQuant::Linear(
                     LinearQuantizer::fit_symmetric(spec.low_bits, &nonzero)
                         .expect("non-zero activations"),
-                )
-            })
+                ))
+            }
         })
         .collect();
 
@@ -156,6 +198,9 @@ pub fn evaluate_synthnet(
             match q {
                 ActQuant::Outlier(q) => q.fake_quantize_inplace(a),
                 ActQuant::Linear(q) => q.fake_quantize_inplace(a),
+                ActQuant::Policy(q) => {
+                    q.fake_quantize_inplace(a);
+                }
             }
         }
     };
@@ -171,6 +216,7 @@ pub fn evaluate_synthnet(
 enum ActQuant {
     Outlier(OutlierQuantizer),
     Linear(LinearQuantizer),
+    Policy(PolicyQuantizer),
 }
 
 fn act_slot(layer: LayerId) -> usize {

@@ -13,6 +13,10 @@
 //!   OLidx + OLmsb) and the sparse outlier-activation chunk format of §III-B.
 //! * [`calibrate`] — per-layer activation thresholds from sample inputs (the
 //!   design-time histogram pass of §II).
+//! * [`policy`] — pluggable outlier-*selection* rules ([`OutlierSelect`]):
+//!   the paper's magnitude percentile plus windowed top-1 and
+//!   sensitivity-weighted alternatives, swept by the `policy-panel`
+//!   experiment.
 //! * [`metrics`] — SQNR/MSE error metrics.
 //! * [`accuracy`] — quantized-network accuracy evaluation on
 //!   [`ola_nn::synthnet`] plus the SQNR-based surrogate used for the five
@@ -40,7 +44,9 @@ pub mod chunks;
 pub mod linear;
 pub mod metrics;
 pub mod outlier;
+pub mod policy;
 
 pub use chunks::{OutlierActChunk, WeightChunk, CHUNK_WEIGHTS};
 pub use linear::LinearQuantizer;
 pub use outlier::{OutlierQuantized, OutlierQuantizer};
+pub use policy::{OutlierPolicy, OutlierSelect, PolicyQuantizer};

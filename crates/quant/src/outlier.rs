@@ -125,12 +125,34 @@ impl OutlierQuantizer {
         self.target_ratio
     }
 
-    /// Whether `v` falls in the outlier region. The threshold value itself
-    /// (the k-th largest magnitude at fit time) is an outlier, so fitting to
-    /// ratio `r` marks at least `ceil(r * n)` values.
+    /// Whether `v` falls in the outlier region.
+    ///
+    /// Tie-breaking contract: the comparison is `|v| >= threshold` under
+    /// [`f32::total_cmp`] — the same total order the fit's threshold
+    /// selection uses — so every value whose magnitude is *bit-identical*
+    /// to the threshold (the k-th largest magnitude at fit time) classifies
+    /// as an outlier, exactly as it did during fitting. Fitting to ratio
+    /// `r` therefore marks at least `ceil(r * n)` values, and possibly more
+    /// when magnitudes tie at the boundary. Because `total_cmp` orders NaN
+    /// above `+inf`, a NaN input is always an outlier (it would have been
+    /// selected into the top-k at fit time too), and `-0.0` behaves as
+    /// magnitude zero.
+    ///
+    /// ```
+    /// use ola_quant::outlier::OutlierQuantizer;
+    ///
+    /// // Four-way tie at the boundary: ratio 0.25 of 8 values asks for 2
+    /// // outliers, but all four 2.0-magnitude values sit exactly at the
+    /// // threshold and must classify identically.
+    /// let values = [2.0_f32, -2.0, 2.0, -2.0, 0.5, 0.4, 0.3, 0.2];
+    /// let q = OutlierQuantizer::fit(&values, 0.25, 4, 8);
+    /// assert_eq!(q.threshold(), 2.0);
+    /// assert_eq!(values.iter().filter(|&&v| q.is_outlier(v)).count(), 4);
+    /// assert_eq!(q.quantize(&values).outliers.len(), 4);
+    /// ```
     #[inline]
     pub fn is_outlier(&self, v: f32) -> bool {
-        v.abs() >= self.threshold
+        v.abs().total_cmp(&self.threshold).is_ge()
     }
 
     /// Quantizes a slice, separating dense levels from outliers.

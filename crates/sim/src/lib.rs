@@ -19,6 +19,6 @@ pub mod result;
 pub mod traffic;
 pub mod workload;
 
-pub use policy::{FirstLayerPolicy, QuantPolicy};
+pub use policy::{FirstLayerPolicy, OutlierSelect, QuantPolicy};
 pub use result::{LayerRun, NetworkRun, Utilization};
 pub use workload::{LayerKind, LayerWorkload, WorkloadSet};

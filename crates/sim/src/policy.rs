@@ -1,6 +1,7 @@
 //! Quantization policy applied when extracting workloads.
 
 use ola_energy::ComparisonMode;
+pub use ola_quant::policy::OutlierSelect;
 
 /// How the first convolutional layer is treated (§II / Fig 3 notes).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,6 +30,9 @@ pub struct QuantPolicy {
     pub outlier_ratio: f64,
     /// First-layer treatment.
     pub first_layer: FirstLayerPolicy,
+    /// Which outlier-selection rule picks the outliers (the paper's
+    /// magnitude percentile unless a policy sweep overrides it).
+    pub select: OutlierSelect,
 }
 
 impl QuantPolicy {
@@ -39,6 +43,7 @@ impl QuantPolicy {
             low_bits: 4,
             outlier_ratio: default_ratio(network),
             first_layer: first_layer_policy(network),
+            select: OutlierSelect::MagnitudePercentile,
         }
     }
 

@@ -15,15 +15,15 @@
 //! byte-identical at any worker count (see [`oracle`] for the retained
 //! multi-pass reference implementation the property tests compare against).
 
-use crate::policy::QuantPolicy;
+use crate::policy::{OutlierSelect, QuantPolicy};
 use ola_nn::network::WeightStore;
 use ola_nn::{Network, Op, Params};
 use ola_quant::calibrate::{calibrate_from_scan, LayerCalibration};
 use ola_quant::outlier::OutlierQuantizer;
 use ola_tensor::par::ordered_map;
 use ola_tensor::scan::{scan_chunks, scan_values, split_ranges};
-use ola_tensor::stats::ValueScan;
-use ola_tensor::{ChunkViews, Shape4, Tensor, CHUNK_LANES};
+use ola_tensor::stats::{kth_largest_magnitude, ValueScan};
+use ola_tensor::{ChunkView, ChunkViews, Shape4, Tensor, CHUNK_LANES};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Process-wide default worker count for workload extraction, set once by
@@ -345,10 +345,24 @@ fn extract_layer(
     // result as the historical element-order pass.
     let views = ChunkViews::activations(act, CHUNK_LANES);
     let mut chunks = scan_chunks(&views, jobs);
-    let cal: LayerCalibration = calibrate_from_scan(node, &mut chunks.values, policy.outlier_ratio);
+    let cal: LayerCalibration = match policy.select {
+        // The magnitude path is the pre-policy pipeline, untouched: the
+        // existing goldens are byte-for-byte regression baselines for it.
+        OutlierSelect::MagnitudePercentile => {
+            calibrate_from_scan(node, &mut chunks.values, policy.outlier_ratio)
+        }
+        select => calibrate_grid(
+            node,
+            &views,
+            &chunks.values,
+            policy.outlier_ratio,
+            select,
+            jobs,
+        ),
+    };
 
     // --- weight statistics ---
-    let wstats = weight_chunk_stats(params, node, policy.outlier_ratio, jobs);
+    let wstats = weight_chunk_stats(params, node, policy.outlier_ratio, policy.select, jobs);
 
     // --- output zero fraction: use the post-ReLU view when a ReLU (or
     //     BN+ReLU chain) directly consumes this node ---
@@ -408,11 +422,21 @@ fn post_activation_zero_fraction(net: &Network, outs: &[Tensor], node: usize) ->
     }
 }
 
-struct WeightChunkStats {
-    zero_fraction: f64,
-    outlier_ratio: f64,
-    single_fraction: f64,
-    multi_fraction: f64,
+/// Weight-grid statistics one extraction pass measures: zero fraction,
+/// realized outlier ratio, and per-16-lane-chunk outlier multiplicity.
+/// Public (with the [`grid_chunk_stats`] entry point) so the differential
+/// policy tests can drive the production sweep on raw grids at any worker
+/// count.
+#[derive(Clone, Copy, Debug)]
+pub struct WeightChunkStats {
+    /// Fraction of exactly-zero weights.
+    pub zero_fraction: f64,
+    /// Outliers over all weights (zeros included).
+    pub outlier_ratio: f64,
+    /// Fraction of chunks with exactly one outlier.
+    pub single_fraction: f64,
+    /// Fraction of chunks with two or more outliers.
+    pub multi_fraction: f64,
 }
 
 /// Measures weight zero fraction, outlier ratio and per-16-lane-chunk
@@ -422,37 +446,299 @@ struct WeightChunkStats {
 /// Two fused passes: one [`ValueScan`] for the quantizer fit, then one
 /// chunk sweep counting zeros, outliers and per-chunk multiplicity
 /// together (the historical path walked the weights four times).
-fn weight_chunk_stats(params: &Params, node: usize, ratio: f64, jobs: usize) -> WeightChunkStats {
+fn weight_chunk_stats(
+    params: &Params,
+    node: usize,
+    ratio: f64,
+    select: OutlierSelect,
+    jobs: usize,
+) -> WeightChunkStats {
     match params
         .weights(node)
         .expect("compute node must have weights")
     {
         WeightStore::Dense(w) => {
             let values = w.as_slice();
-            let mut scan = scan_values(values, jobs);
-            let quant = fit_from_scan(&mut scan, ratio);
             let s = w.shape();
             // Conv weights are (Co, Ci, K, K); FC dense weights are
-            // (1, 1, rows=Co, cols=Ci). Normalize to (co, inner).
-            let (co, inner) = if s.n > 1 {
-                (s.n, s.c * s.h * s.w)
-            } else {
+            // (1, 1, rows=Co, cols=Ci). Normalize to (co, inner). Only a
+            // genuinely 2-D store is an FC matrix — a single-output-channel
+            // conv also has n == 1 but carries its fan-in in c.
+            let (co, inner) = if s.n == 1 && s.c == 1 {
                 (s.h, s.w)
+            } else {
+                (s.n, s.c * s.h * s.w)
             };
+            grid_chunk_stats(values, co, inner, ratio, select, jobs)
+        }
+        WeightStore::RowGen(g) => match select {
+            // Magnitude keeps its historical split: a 64-row sample fits
+            // the quantizer, 32 banded rows feed the chunk sweep.
+            OutlierSelect::MagnitudePercentile => {
+                let sample = g.sample_values(64);
+                let mut scan = scan_values(&sample, jobs);
+                let quant = fit_from_scan(&mut scan, ratio);
+                let rows = g.rows().min(32);
+                let mut values = Vec::with_capacity(rows * g.cols());
+                for r in 0..rows {
+                    values.extend(g.row(r));
+                }
+                chunk_stats_fused(&values, rows, g.cols(), quant.as_ref(), jobs)
+            }
+            // The structured policies calibrate on the banded rows they
+            // chunk (windowed needs no calibration at all; sensitivity's
+            // window RMS only exists on the grid it scores, so a separate
+            // row sample would be meaningless).
+            _ => {
+                let rows = g.rows().min(32);
+                let mut values = Vec::with_capacity(rows * g.cols());
+                for r in 0..rows {
+                    values.extend(g.row(r));
+                }
+                grid_chunk_stats(&values, rows, g.cols(), ratio, select, jobs)
+            }
+        },
+    }
+}
+
+/// Chunk statistics of a `(co, inner)` weight grid under any
+/// outlier-selection policy, split across `jobs` workers. `ratio` is the
+/// paper's fraction of *total* weights (zeros included); structured
+/// policies rescale it to the non-zero population exactly as the magnitude
+/// fit does. Byte-identical at any `jobs` value.
+pub fn grid_chunk_stats(
+    values: &[f32],
+    co: usize,
+    inner: usize,
+    ratio: f64,
+    select: OutlierSelect,
+    jobs: usize,
+) -> WeightChunkStats {
+    match select {
+        OutlierSelect::MagnitudePercentile => {
+            let mut scan = scan_values(values, jobs);
+            let quant = fit_from_scan(&mut scan, ratio);
             chunk_stats_fused(values, co, inner, quant.as_ref(), jobs)
         }
-        WeightStore::RowGen(g) => {
-            // Sample 64 rows for the fit, then 16-row bands for chunking.
-            let sample = g.sample_values(64);
-            let mut scan = scan_values(&sample, jobs);
-            let quant = fit_from_scan(&mut scan, ratio);
-            let rows = g.rows().min(32);
-            let mut values = Vec::with_capacity(rows * g.cols());
-            for r in 0..rows {
-                values.extend(g.row(r));
-            }
-            chunk_stats_fused(&values, rows, g.cols(), quant.as_ref(), jobs)
+        OutlierSelect::WindowedTopK { window } => {
+            let views = ChunkViews::matrix(values, co, inner, CHUNK_LANES);
+            let rule = (ratio > 0.0).then_some(GridRule::Windowed { window });
+            let counts = grid_rule_counts(&views, rule, jobs);
+            counts_to_stats(counts, values.len(), views.len())
         }
+        OutlierSelect::SensitivityWeighted { window } => {
+            let views = ChunkViews::matrix(values, co, inner, CHUNK_LANES);
+            let rule = if ratio > 0.0 {
+                let mut scores = sensitivity_scores(&views, window, jobs);
+                if scores.is_empty() {
+                    None
+                } else {
+                    let nonzero_ratio =
+                        (ratio * values.len() as f64 / scores.len() as f64).min(1.0);
+                    let k = ((scores.len() as f64 * nonzero_ratio).ceil() as usize)
+                        .clamp(1, scores.len());
+                    let threshold = kth_largest_magnitude(&mut scores, k);
+                    Some(GridRule::Sensitivity { window, threshold })
+                }
+            } else {
+                None
+            };
+            let counts = grid_rule_counts(&views, rule, jobs);
+            counts_to_stats(counts, values.len(), views.len())
+        }
+    }
+}
+
+/// A grid classification rule resolved to per-chunk form: calibration is
+/// done, so classifying a chunk needs no global state beyond the threshold.
+#[derive(Clone, Copy)]
+enum GridRule {
+    /// Top-1 per `window` lanes of each chunk.
+    Windowed { window: usize },
+    /// `|v| * rms(window)` against a calibrated score threshold.
+    Sensitivity { window: usize, threshold: f32 },
+}
+
+/// Activation calibration for the structured (non-magnitude) policies over
+/// the same chunk views the fused scan walked. Windows tile each chunk's
+/// *real* lanes (zero-padded tails never vote), matching the weight grid's
+/// chunk-local windows.
+fn calibrate_grid(
+    node: usize,
+    views: &ChunkViews,
+    scan: &ValueScan,
+    ratio: f64,
+    select: OutlierSelect,
+    jobs: usize,
+) -> LayerCalibration {
+    let total = scan.total().max(1);
+    let nonzero = scan.nonzero();
+    let (threshold, outliers) = match select {
+        OutlierSelect::MagnitudePercentile => unreachable!("magnitude uses calibrate_from_scan"),
+        OutlierSelect::WindowedTopK { window } => {
+            let rule = (ratio > 0.0).then_some(GridRule::Windowed { window });
+            let (_, outliers, _, _) = grid_rule_counts(views, rule, jobs);
+            // Window-local selection has no scalar threshold.
+            (f32::INFINITY, outliers)
+        }
+        OutlierSelect::SensitivityWeighted { window } => {
+            if ratio <= 0.0 || nonzero == 0 {
+                (f32::INFINITY, 0)
+            } else {
+                // Activation ratios are fractions of the non-zero
+                // population (the paper's calibration target), so no
+                // rescale — unlike the weight grid.
+                let mut scores = sensitivity_scores(views, window, jobs);
+                let k = ((scores.len() as f64 * ratio).ceil() as usize).clamp(1, scores.len());
+                let threshold = kth_largest_magnitude(&mut scores, k);
+                let rule = GridRule::Sensitivity { window, threshold };
+                let (_, outliers, _, _) = grid_rule_counts(views, Some(rule), jobs);
+                (threshold, outliers)
+            }
+        }
+    };
+    LayerCalibration {
+        node,
+        threshold,
+        abs_max: if scan.abs_max() > 0.0 {
+            scan.abs_max()
+        } else {
+            1.0
+        },
+        nonzero_outlier_ratio: if nonzero == 0 {
+            0.0
+        } else {
+            outliers as f64 / nonzero as f64
+        },
+        effective_outlier_ratio: outliers as f64 / total as f64,
+        zero_fraction: scan.zero_fraction(),
+    }
+}
+
+/// Sensitivity scores (`|v| * rms(window)`) of every non-zero lane, in
+/// chunk-major lane order. The RMS accumulates in lane order with a fixed
+/// f32 sum, and parts concatenate in range order, so the result is
+/// byte-identical at any `jobs` value (and the k-th order statistic taken
+/// from it is permutation-independent under `total_cmp` regardless).
+fn sensitivity_scores(views: &ChunkViews, window: usize, jobs: usize) -> Vec<f32> {
+    assert!(window >= 1, "window must be at least 1");
+    let ranges = split_ranges(views.len(), jobs);
+    let parts = ordered_map(&ranges, jobs, |_, range| {
+        let mut scores = Vec::new();
+        for idx in range.clone() {
+            let view = views.get(idx);
+            let real = view.real_lanes();
+            let mut w0 = 0;
+            while w0 < real {
+                let end = (w0 + window).min(real);
+                let rms = lane_window_rms(&view, w0, end);
+                for lane in w0..end {
+                    let v = view.lane(lane);
+                    if v != 0.0 {
+                        scores.push(v.abs() * rms);
+                    }
+                }
+                w0 = end;
+            }
+        }
+        scores
+    });
+    let mut all = Vec::new();
+    for part in parts {
+        all.extend(part);
+    }
+    all
+}
+
+/// RMS of a chunk's lanes `[w0, end)`, zeros included, fixed lane-order
+/// f32 accumulation.
+fn lane_window_rms(view: &ChunkView<'_>, w0: usize, end: usize) -> f32 {
+    let mut sum_sq = 0.0_f32;
+    for lane in w0..end {
+        let v = view.lane(lane);
+        sum_sq += v * v;
+    }
+    (sum_sq / (end - w0) as f32).sqrt()
+}
+
+/// One parallel sweep over a chunk grid under a resolved [`GridRule`]:
+/// `(zeros, outliers, single-outlier chunks, multi-outlier chunks)`. All
+/// four are order-independent count reductions, so any range split is
+/// exact. `rule == None` means outliers are disabled (zeros still count).
+fn grid_rule_counts(
+    views: &ChunkViews,
+    rule: Option<GridRule>,
+    jobs: usize,
+) -> (u64, u64, u64, u64) {
+    if let Some(GridRule::Windowed { window } | GridRule::Sensitivity { window, .. }) = rule {
+        assert!(window >= 1, "window must be at least 1");
+    }
+    let ranges = split_ranges(views.len(), jobs);
+    let parts = ordered_map(&ranges, jobs, |_, range| {
+        let mut zeros = 0u64;
+        let mut outliers = 0u64;
+        let mut single = 0u64;
+        let mut multi = 0u64;
+        for idx in range.clone() {
+            let view = views.get(idx);
+            let real = view.real_lanes();
+            for lane in 0..real {
+                if view.lane(lane) == 0.0 {
+                    zeros += 1;
+                }
+            }
+            let mut count = 0u32;
+            match rule {
+                None => {}
+                Some(GridRule::Windowed { window }) => {
+                    let mut w0 = 0;
+                    while w0 < real {
+                        let end = (w0 + window).min(real);
+                        if (w0..end).any(|lane| view.lane(lane) != 0.0) {
+                            count += 1;
+                        }
+                        w0 = end;
+                    }
+                }
+                Some(GridRule::Sensitivity { window, threshold }) => {
+                    let mut w0 = 0;
+                    while w0 < real {
+                        let end = (w0 + window).min(real);
+                        let rms = lane_window_rms(&view, w0, end);
+                        for lane in w0..end {
+                            let v = view.lane(lane);
+                            if v != 0.0 && (v.abs() * rms).total_cmp(&threshold).is_ge() {
+                                count += 1;
+                            }
+                        }
+                        w0 = end;
+                    }
+                }
+            }
+            outliers += u64::from(count);
+            match count {
+                0 => {}
+                1 => single += 1,
+                _ => multi += 1,
+            }
+        }
+        (zeros, outliers, single, multi)
+    });
+    parts.into_iter().fold((0u64, 0u64, 0u64, 0u64), |a, p| {
+        (a.0 + p.0, a.1 + p.1, a.2 + p.2, a.3 + p.3)
+    })
+}
+
+/// Folds raw grid counts into the fraction form the models consume.
+fn counts_to_stats(counts: (u64, u64, u64, u64), total: usize, chunks: usize) -> WeightChunkStats {
+    let (zeros, outliers, single, multi) = counts;
+    let total = total.max(1);
+    let chunks = (chunks as u64).max(1);
+    WeightChunkStats {
+        zero_fraction: zeros as f64 / total as f64,
+        outlier_ratio: outliers as f64 / total as f64,
+        single_fraction: single as f64 / chunks as f64,
+        multi_fraction: multi as f64 / chunks as f64,
     }
 }
 
@@ -539,14 +825,14 @@ fn chunk_stats_fused(
 /// zero count, the outlier count and the chunk sweep.
 pub mod oracle {
     use super::{
-        post_activation_zero_fraction, LayerKind, LayerWorkload, QuantPolicy, WeightChunkStats,
-        WorkloadSet,
+        post_activation_zero_fraction, LayerKind, LayerWorkload, OutlierSelect, QuantPolicy,
+        WeightChunkStats, WorkloadSet,
     };
     use ola_nn::network::WeightStore;
     use ola_nn::{Network, Op, Params};
     use ola_quant::calibrate::LayerCalibration;
     use ola_quant::outlier::OutlierQuantizer;
-    use ola_tensor::{ChannelChunks, Shape4, Tensor, CHUNK_LANES};
+    use ola_tensor::{ChannelChunks, ChunkViews, Shape4, Tensor, CHUNK_LANES};
 
     /// Full-sort threshold over the top-`ratio` magnitude fraction — the
     /// historical O(n log n) implementation of
@@ -619,10 +905,10 @@ pub mod oracle {
                 let values = w.as_slice();
                 let quant = fit_or_none(values, ratio);
                 let s = w.shape();
-                let (co, inner) = if s.n > 1 {
-                    (s.n, s.c * s.h * s.w)
-                } else {
+                let (co, inner) = if s.n == 1 && s.c == 1 {
                     (s.h, s.w)
+                } else {
+                    (s.n, s.c * s.h * s.w)
                 };
                 chunk_stats_from(values, co, inner, quant.as_ref())
             }
@@ -680,6 +966,181 @@ pub mod oracle {
         }
     }
 
+    /// Serial reference classification of one chunk grid under a
+    /// structured (non-magnitude) policy, written independently of the
+    /// fused sweep: windows are materialized per chunk, sensitivity
+    /// thresholds come from a full descending sort, and every count is a
+    /// plain serial loop. Returns `(zeros, outliers, single, multi)`.
+    ///
+    /// `ratio_of_total` selects the weight-grid convention (the target is
+    /// a fraction of all values, rescaled to the non-zero population)
+    /// versus the activation convention (the target is already a fraction
+    /// of non-zeros).
+    fn grid_counts_naive(
+        views: &ChunkViews<'_>,
+        ratio: f64,
+        select: OutlierSelect,
+        ratio_of_total: bool,
+        total: usize,
+    ) -> (u64, u64, u64, u64) {
+        let windows_of = |idx: usize| -> Vec<Vec<f32>> {
+            let window = match select {
+                OutlierSelect::WindowedTopK { window }
+                | OutlierSelect::SensitivityWeighted { window } => window,
+                OutlierSelect::MagnitudePercentile => {
+                    unreachable!("magnitude has its own oracle arm")
+                }
+            };
+            let view = views.get(idx);
+            let real = view.real_lanes();
+            let mut out = Vec::new();
+            let mut w0 = 0;
+            while w0 < real {
+                let end = (w0 + window).min(real);
+                out.push((w0..end).map(|lane| view.lane(lane)).collect());
+                w0 = end;
+            }
+            out
+        };
+        let rms =
+            |w: &[f32]| -> f32 { (w.iter().map(|&v| v * v).sum::<f32>() / w.len() as f32).sqrt() };
+
+        // Calibration: a sensitivity threshold needs all scores up front.
+        let threshold = if let OutlierSelect::SensitivityWeighted { .. } = select {
+            let mut scores = Vec::new();
+            for idx in 0..views.len() {
+                for w in windows_of(idx) {
+                    let r = rms(&w);
+                    scores.extend(w.iter().filter(|&&v| v != 0.0).map(|&v| v.abs() * r));
+                }
+            }
+            if ratio <= 0.0 || scores.is_empty() {
+                f32::INFINITY
+            } else {
+                let eff = if ratio_of_total {
+                    (ratio * total as f64 / scores.len() as f64).min(1.0)
+                } else {
+                    ratio
+                };
+                let k = ((scores.len() as f64 * eff).ceil() as usize).clamp(1, scores.len());
+                scores.sort_by(|a, b| b.total_cmp(a));
+                scores[k - 1]
+            }
+        } else {
+            f32::INFINITY
+        };
+
+        let mut zeros = 0u64;
+        let mut outliers = 0u64;
+        let mut single = 0u64;
+        let mut multi = 0u64;
+        for idx in 0..views.len() {
+            let view = views.get(idx);
+            for lane in 0..view.real_lanes() {
+                if view.lane(lane) == 0.0 {
+                    zeros += 1;
+                }
+            }
+            let mut count = 0u32;
+            for w in windows_of(idx) {
+                match select {
+                    OutlierSelect::WindowedTopK { .. } => {
+                        if ratio > 0.0 && w.iter().any(|&v| v != 0.0) {
+                            count += 1;
+                        }
+                    }
+                    OutlierSelect::SensitivityWeighted { .. } => {
+                        let r = rms(&w);
+                        count += w
+                            .iter()
+                            .filter(|&&v| v != 0.0 && (v.abs() * r).total_cmp(&threshold).is_ge())
+                            .count() as u32;
+                    }
+                    OutlierSelect::MagnitudePercentile => unreachable!(),
+                }
+            }
+            outliers += u64::from(count);
+            match count {
+                0 => {}
+                1 => single += 1,
+                _ => multi += 1,
+            }
+        }
+        (zeros, outliers, single, multi)
+    }
+
+    /// Naive serial activation calibration for the structured policies.
+    fn calibrate_policy_naive(
+        node: usize,
+        act: &Tensor,
+        ratio: f64,
+        select: OutlierSelect,
+    ) -> LayerCalibration {
+        let values = act.as_slice();
+        let total = values.len().max(1);
+        let nonzero = values.iter().filter(|&&v| v != 0.0).count();
+        let abs_max = values.iter().fold(0.0_f32, |m, &v| m.max(v.abs()));
+        let views = ChunkViews::activations(act, CHUNK_LANES);
+        let (_, outliers, _, _) = grid_counts_naive(&views, ratio, select, false, total);
+        LayerCalibration {
+            node,
+            // Structured policies carry no scalar magnitude threshold; the
+            // sensitivity score threshold is internal to the count above.
+            threshold: f32::INFINITY,
+            abs_max: if abs_max > 0.0 { abs_max } else { 1.0 },
+            nonzero_outlier_ratio: if nonzero == 0 {
+                0.0
+            } else {
+                outliers as f64 / nonzero as f64
+            },
+            effective_outlier_ratio: outliers as f64 / total as f64,
+            zero_fraction: 1.0 - nonzero as f64 / total as f64,
+        }
+    }
+
+    /// Naive serial weight-grid statistics for the structured policies
+    /// (same banded-row treatment of generated weights as production).
+    fn weight_stats_naive(
+        params: &Params,
+        node: usize,
+        ratio: f64,
+        select: OutlierSelect,
+    ) -> WeightChunkStats {
+        let (values, co, inner): (Vec<f32>, usize, usize) = match params
+            .weights(node)
+            .expect("compute node must have weights")
+        {
+            WeightStore::Dense(w) => {
+                let s = w.shape();
+                let (co, inner) = if s.n == 1 && s.c == 1 {
+                    (s.h, s.w)
+                } else {
+                    (s.n, s.c * s.h * s.w)
+                };
+                (w.as_slice().to_vec(), co, inner)
+            }
+            WeightStore::RowGen(g) => {
+                let rows = g.rows().min(32);
+                let mut values = Vec::with_capacity(rows * g.cols());
+                for r in 0..rows {
+                    values.extend(g.row(r));
+                }
+                (values, rows, g.cols())
+            }
+        };
+        let views = ChunkViews::matrix(&values, co, inner, CHUNK_LANES);
+        let (zeros, outliers, single, multi) =
+            grid_counts_naive(&views, ratio, select, true, values.len());
+        let total = values.len().max(1);
+        let chunks = (views.len() as u64).max(1);
+        WeightChunkStats {
+            zero_fraction: zeros as f64 / total as f64,
+            outlier_ratio: outliers as f64 / total as f64,
+            single_fraction: single as f64 / chunks as f64,
+            multi_fraction: multi as f64 / chunks as f64,
+        }
+    }
+
     /// The historical serial extraction loop: one layer at a time, each
     /// walking its activations several times.
     pub fn extract_from_acts(
@@ -710,7 +1171,12 @@ pub mod oracle {
                 _ => unreachable!("compute_nodes returns only conv/linear"),
             };
 
-            let cal = calibrate_values_multi_pass(node, act.as_slice(), policy.outlier_ratio);
+            let cal = match policy.select {
+                OutlierSelect::MagnitudePercentile => {
+                    calibrate_values_multi_pass(node, act.as_slice(), policy.outlier_ratio)
+                }
+                select => calibrate_policy_naive(node, act, policy.outlier_ratio, select),
+            };
             let mut chunk_nnz = Vec::new();
             let mut chunk_zero_quads = Vec::new();
             for c in ChannelChunks::new(act, CHUNK_LANES) {
@@ -723,7 +1189,12 @@ pub mod oracle {
                 chunk_zero_quads.push(zq);
             }
 
-            let wstats = weight_chunk_stats(params, node, policy.outlier_ratio);
+            let wstats = match policy.select {
+                OutlierSelect::MagnitudePercentile => {
+                    weight_chunk_stats(params, node, policy.outlier_ratio)
+                }
+                select => weight_stats_naive(params, node, policy.outlier_ratio, select),
+            };
             let out_zero_fraction = post_activation_zero_fraction(net, outs, node);
 
             let in_shape: Shape4 = if kind == LayerKind::Fc {

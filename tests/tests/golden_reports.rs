@@ -81,3 +81,13 @@ fn fig18_matches_golden() {
 fn table1_matches_golden() {
     check("table1");
 }
+
+#[test]
+fn policy_panel_matches_golden() {
+    // Locks the full policy panel: trait-based calibration for all three
+    // selection rules, the policy-threaded workload extraction, and the
+    // cycle/energy models consuming the measured counts. CI additionally
+    // byte-compares the binary's output at two `--jobs` values against
+    // this same snapshot.
+    check("policy-panel");
+}

@@ -88,6 +88,90 @@ fn full_weight_path_roundtrip_preserves_fidelity() {
 }
 
 #[test]
+fn fit_rejects_empty_population() {
+    // The fit has no way to place a grid over nothing; the contract is a
+    // panic, not a silent degenerate quantizer.
+    let result = std::panic::catch_unwind(|| OutlierQuantizer::fit(&[], 0.03, 4, 8));
+    assert!(result.is_err(), "fit on an empty slice must panic");
+}
+
+#[test]
+fn fit_rejects_all_zero_population() {
+    // -0.0 counts as magnitude zero: a population of signed zeros has no
+    // usable maximum and must be rejected like the empty one.
+    let zeros = [0.0f32, -0.0, 0.0, -0.0];
+    let result = std::panic::catch_unwind(|| OutlierQuantizer::fit(&zeros, 0.03, 4, 8));
+    assert!(result.is_err(), "fit on all-zero values must panic");
+    let aligned = std::panic::catch_unwind(|| OutlierQuantizer::fit_aligned(&zeros, 0.03, 4, 8));
+    assert!(
+        aligned.is_err(),
+        "fit_aligned on all-zero values must panic"
+    );
+}
+
+#[test]
+fn nan_input_is_always_an_outlier() {
+    // total_cmp orders NaN above +inf, so a NaN that sneaks into the
+    // runtime population lands in the high-precision region under any
+    // finite calibrated threshold — deterministically, on both the
+    // classify and quantize paths.
+    let mut values = vec![0.5f32; 63];
+    values.push(f32::NAN);
+    let calib: Vec<f32> = vec![0.5, 0.6, 0.7, 0.8, 5.0];
+    let q = OutlierQuantizer::fit(&calib, 0.2, 4, 8);
+    assert!(q.is_outlier(f32::NAN));
+    let encoded = q.quantize(&values);
+    assert!(
+        encoded.outliers.iter().any(|&(i, _)| i == 63),
+        "NaN position missing from the outlier list"
+    );
+    assert_eq!(encoded.outlier_ratio(), 1.0 / 64.0);
+}
+
+#[test]
+fn negative_zero_stays_in_the_dense_region() {
+    let values = [1.0f32, -0.0, 2.0, -0.0, 8.0];
+    let q = OutlierQuantizer::fit(&values, 0.2, 4, 8);
+    assert!(
+        !q.is_outlier(-0.0),
+        "-0.0 is magnitude zero, never an outlier"
+    );
+    let encoded = q.quantize(&values);
+    assert!(encoded.outliers.iter().all(|&(i, _)| i == 4));
+    assert_eq!(encoded.levels[1], 0);
+    assert_eq!(encoded.levels[3], 0);
+}
+
+#[test]
+fn outlier_ratio_of_an_empty_quantization_is_zero() {
+    // quantize(&[]) is a valid no-op; its ratio must come back 0, not NaN.
+    let q = OutlierQuantizer::fit(&[1.0, 2.0, 3.0, 4.0], 0.25, 4, 8);
+    let empty = q.quantize(&[]);
+    assert!(empty.levels.is_empty() && empty.outliers.is_empty());
+    assert_eq!(empty.outlier_ratio(), 0.0);
+}
+
+#[test]
+fn fit_aligned_boundary_ties_classify_identically() {
+    // Four values share the threshold magnitude bit-for-bit; the aligned
+    // fit must classify them all as outliers, exactly like the plain fit
+    // (the tie contract is `|v| >= threshold` under total_cmp for both).
+    let values = [2.0f32, -2.0, 2.0, -2.0, 0.5, 0.4, 0.3, 0.2];
+    let plain = OutlierQuantizer::fit(&values, 0.25, 4, 8);
+    let aligned = OutlierQuantizer::fit_aligned(&values, 0.25, 4, 8);
+    assert_eq!(plain.threshold(), 2.0);
+    assert_eq!(aligned.threshold(), 2.0);
+    for &v in &values {
+        assert_eq!(
+            plain.is_outlier(v),
+            aligned.is_outlier(v),
+            "tie split at {v}"
+        );
+    }
+    assert_eq!(aligned.quantize(&values).outliers.len(), 4);
+}
+
+#[test]
 fn vgg_and_resnet_quantize_cleanly() {
     for name in ["vgg16", "resnet18"] {
         let cfg = ZooConfig {

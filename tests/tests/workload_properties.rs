@@ -19,7 +19,7 @@ use ola_nn::synth::{synthesize_params, SynthConfig};
 use ola_nn::{Conv2dSpec, LinearSpec, Network, Op};
 use ola_sim::policy::FirstLayerPolicy;
 use ola_sim::workload::{extract_from_acts_jobs, oracle, WorkloadSet};
-use ola_sim::QuantPolicy;
+use ola_sim::{OutlierSelect, QuantPolicy};
 use ola_tensor::init::uniform_tensor;
 use ola_tensor::{ConvGeometry, Shape4, CHUNK_LANES};
 use proptest::prelude::*;
@@ -45,6 +45,17 @@ fn policy_from(ratio: f64, bits16: bool, first: u8, low_bits: u32) -> QuantPolic
             1 => FirstLayerPolicy::RawActsWideWeights,
             _ => FirstLayerPolicy::FineTuned4Bit,
         },
+        select: OutlierSelect::MagnitudePercentile,
+    }
+}
+
+/// Maps a proptest-drawn discriminant + window onto the policy enum so
+/// every suite below sweeps all three selection rules.
+fn select_from(sel: u8, window: usize) -> OutlierSelect {
+    match sel % 3 {
+        0 => OutlierSelect::MagnitudePercentile,
+        1 => OutlierSelect::WindowedTopK { window },
+        _ => OutlierSelect::SensitivityWeighted { window },
     }
 }
 
@@ -123,8 +134,11 @@ proptest! {
         ratio in 0.0f64..0.12,
         bits16 in prop::bool::ANY,
         first in 0u8..3,
+        sel in 0u8..3,
+        window in 1usize..=16,
     ) {
-        let policy = policy_from(ratio, bits16, first, 4);
+        let mut policy = policy_from(ratio, bits16, first, 4);
+        policy.select = select_from(sel, window);
         let ws = prep().extract(&policy);
         check_invariants(&ws, &policy)?;
     }
@@ -137,9 +151,11 @@ proptest! {
     ) {
         // MAC counts, weight counts and shapes describe the network, not
         // the quantization policy — two extractions under different
-        // policies must agree on all of them, layer by layer.
+        // policies (including different selection rules) must agree on all
+        // of them, layer by layer.
         let pa = policy_from(ratio_a, bits16, 0, 4);
-        let pb = policy_from(ratio_b, !bits16, 1, 4);
+        let mut pb = policy_from(ratio_b, !bits16, 1, 4);
+        pb.select = OutlierSelect::WindowedTopK { window: 8 };
         let wa = prep().extract(&pa);
         let wb = prep().extract(&pb);
         prop_assert_eq!(wa.layers.len(), wb.layers.len());
@@ -163,18 +179,24 @@ proptest! {
         bits16 in prop::bool::ANY,
         first in 0u8..3,
         jobs in 1usize..6,
+        sel in 0u8..3,
+        window in 1usize..=16,
     ) {
         // The determinism contract: the fused single-pass parallel pipeline
-        // reproduces the historical multi-pass serial pipeline exactly —
-        // every field of every layer, floats compared by bit pattern — at
-        // any worker count.
-        let policy = policy_from(ratio, bits16, first, 4);
+        // reproduces the naive serial reference exactly — every field of
+        // every layer, floats compared by bit pattern — at any worker
+        // count, under every selection rule (the magnitude arm is the
+        // verbatim pre-policy multi-pass pipeline).
+        let mut policy = policy_from(ratio, bits16, first, 4);
+        policy.select = select_from(sel, window);
         let p = prep();
         let reference = oracle::extract_from_acts(&p.net, &p.params, &p.acts, &policy);
         let fused = extract_from_acts_jobs(&p.net, &p.params, &p.acts, &policy, jobs);
         prop_assert!(
             fused.bitwise_eq(&reference),
-            "fused extraction diverged from oracle at jobs={jobs}, ratio={ratio}"
+            "fused extraction diverged from oracle at jobs={jobs}, ratio={ratio}, \
+             select={:?}",
+            policy.select
         );
     }
 
@@ -188,6 +210,8 @@ proptest! {
         ratio in 0.0f64..0.12,
         jobs in 1usize..6,
         seed in 0u64..1000,
+        sel in 0u8..3,
+        window in 1usize..=16,
     ) {
         // Same contract over randomized geometry: channel counts off the
         // 16-lane grid, odd spatial sizes, 1x1..3x3 kernels, tiny FCs.
@@ -214,13 +238,15 @@ proptest! {
         let params = synthesize_params(&net, &SynthConfig::default());
         let input = uniform_tensor(net.input_shape(), -1.0, 1.0, seed);
         let acts = net.forward(&params, &input);
-        let policy = policy_from(ratio, true, 0, 4);
+        let mut policy = policy_from(ratio, true, 0, 4);
+        policy.select = select_from(sel, window);
         let reference = oracle::extract_from_acts(&net, &params, &acts, &policy);
         let fused = extract_from_acts_jobs(&net, &params, &acts, &policy, jobs);
         prop_assert!(
             fused.bitwise_eq(&reference),
             "random net (cin={cin}, cmid={cmid}, s={spatial}, k={kernel}) \
-             diverged at jobs={jobs}, ratio={ratio}"
+             diverged at jobs={jobs}, ratio={ratio}, select={:?}",
+            policy.select
         );
     }
 
@@ -228,11 +254,18 @@ proptest! {
     fn higher_ratio_never_reduces_weight_outliers(
         lo in 0.0f64..0.05,
         delta in 0.01f64..0.08,
+        sel in 0u8..3,
+        window in 1usize..=16,
     ) {
         // The realized weight outlier ratio tracks the requested one
-        // monotonically (it is a top-k threshold over a fixed population).
-        let p_lo = policy_from(lo, true, 0, 4);
-        let p_hi = policy_from(lo + delta, true, 0, 4);
+        // monotonically: a top-k threshold over a fixed population for the
+        // global policies, and a constant density (independent of any
+        // ratio above zero) for windowed selection.
+        let select = select_from(sel, window);
+        let mut p_lo = policy_from(lo, true, 0, 4);
+        let mut p_hi = policy_from(lo + delta, true, 0, 4);
+        p_lo.select = select;
+        p_hi.select = select;
         let w_lo = prep().extract(&p_lo);
         let w_hi = prep().extract(&p_hi);
         for (a, b) in w_lo.layers.iter().zip(&w_hi.layers) {
