@@ -15,7 +15,7 @@
 //! outcome, and re-raised by [`run_suite`] after every worker has drained —
 //! one broken figure doesn't strand the queue mid-run.
 
-use crate::prep::{CacheStats, PrepCache};
+use crate::prep::{lock_unpoisoned, CacheStats, PrepCache};
 use crate::timing::{self, PhaseStats};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -98,6 +98,7 @@ pub fn is_known_experiment(name: &str) -> bool {
     crate::EXPERIMENTS.contains(&name)
         || name == "extra-resnet101"
         || name == "extra-densenet121"
+        || name == "__panic"
         || name.starts_with("compare-")
         || name.starts_with("validate-")
 }
@@ -158,29 +159,40 @@ where
                 let Some(name) = names.get(i) else { break };
                 let t = Instant::now();
                 let report = catch_unwind(AssertUnwindSafe(|| crate::run_experiment(name, fast)))
-                    .map_err(|e| panic_message(&e));
+                    // `e.as_ref()`, not `&e`: coercing `&Box<dyn Any>` would
+                    // downcast the Box itself and lose the payload.
+                    .map_err(|e| panic_message(e.as_ref()));
                 let outcome = ExperimentOutcome {
                     name: name.to_string(),
                     report,
                     wall: t.elapsed(),
                 };
-                let mut done = slots.done.lock().unwrap();
+                // Poison-tolerant locking throughout the queue: every
+                // experiment panic is already caught above, but a panic in
+                // the consumer's `on_report` callback would otherwise
+                // poison this mutex and replace the workers' (and the
+                // suite's) real failure message with a generic
+                // `PoisonError` — the first failure's payload must survive.
+                let mut done = lock_unpoisoned(&slots.done);
                 done[i] = Some(outcome);
                 slots.ready.notify_all();
             });
         }
 
         // Emit in request order while workers keep draining the queue.
-        let mut done = slots.done.lock().unwrap();
+        let mut done = lock_unpoisoned(&slots.done);
         for i in 0..names.len() {
             while done[i].is_none() {
-                done = slots.ready.wait(done).unwrap();
+                done = slots
+                    .ready
+                    .wait(done)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
             let outcome = done[i].take().expect("slot filled");
             drop(done);
             on_report(&outcome);
             outcomes.push(outcome);
-            done = slots.done.lock().unwrap();
+            done = lock_unpoisoned(&slots.done);
         }
     });
 
@@ -188,12 +200,7 @@ where
     let result = SuiteResult {
         jobs,
         total_wall: start.elapsed(),
-        cache: CacheStats {
-            prepared_hits: stats_after.prepared_hits - stats_before.prepared_hits,
-            prepared_misses: stats_after.prepared_misses - stats_before.prepared_misses,
-            workload_hits: stats_after.workload_hits - stats_before.workload_hits,
-            workload_misses: stats_after.workload_misses - stats_before.workload_misses,
-        },
+        cache: stats_after.since(&stats_before),
         phases: timing::snapshot().since(&phases_before),
         outcomes,
     };
@@ -218,7 +225,10 @@ pub fn run_suite_collect(names: &[&str], fast: bool, jobs: usize) -> Vec<String>
         .collect()
 }
 
-fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+/// Best-effort extraction of a caught panic's message (shared with the
+/// cache's exactly-once slots, which relay a failed build's message to
+/// every waiting requester).
+pub(crate) fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = e.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = e.downcast_ref::<String>() {
@@ -251,6 +261,36 @@ mod tests {
     #[should_panic(expected = "unknown experiment")]
     fn unknown_names_rejected_before_running() {
         let _ = run_suite(&["fig99"], true, 2, |_| {});
+    }
+
+    #[test]
+    fn panicking_experiment_surfaces_its_own_message() {
+        // The hidden `__panic` experiment dies mid-suite; the healthy
+        // experiments around it must still stream their reports, and the
+        // re-raised failure must carry the *original* panic message — not
+        // a mutex-poisoning error from the work queue.
+        let names = ["table1", "__panic", "fig17"];
+        let mut seen = Vec::new();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_suite(&names, true, 2, |o| {
+                seen.push((o.name.clone(), o.report.is_ok()));
+            })
+        }))
+        .expect_err("suite with a panicking experiment must re-raise");
+        let msg = panic_message(err.as_ref());
+        assert!(
+            msg.contains("__panic experiment failed deliberately"),
+            "original payload lost, got: {msg}"
+        );
+        assert_eq!(
+            seen,
+            vec![
+                ("table1".to_string(), true),
+                ("__panic".to_string(), false),
+                ("fig17".to_string(), true),
+            ],
+            "healthy experiments must complete and stream around the failure"
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! preparation shared (and computed exactly once per key) via
 //! [`prep::PrepCache`]. Reports are byte-identical at any worker count.
 
+pub mod cli;
 pub mod engine;
 pub mod fig01;
 pub mod fig02;
@@ -32,6 +33,8 @@ pub mod policy_panel;
 pub mod prep;
 pub mod report;
 pub mod sensitivity;
+#[cfg(unix)]
+pub mod server;
 pub mod summary;
 pub mod table1;
 pub mod timing;
@@ -100,6 +103,10 @@ pub fn run_experiment(name: &str, fast: bool) -> String {
         name if name.starts_with("validate-") => {
             validate::run_network(name.trim_start_matches("validate-"), fast)
         }
+        // Hidden fault-injection hook for the engine/server tests: always
+        // panics, deliberately kept out of `EXPERIMENTS` so it can't be
+        // scheduled by suite-wide runs.
+        "__panic" => panic!("__panic experiment failed deliberately"),
         other => panic!("unknown experiment {other}; known: {EXPERIMENTS:?}"),
     }
 }

@@ -18,6 +18,19 @@
 //! randomness is derived from the explicit `seed` argument (see
 //! [`Prepared::with_seed`]), never from global state, which is what makes
 //! the memoization sound.
+//!
+//! With [`PrepCache::set_disk`] the cache additionally gains a persistent
+//! tier: misses read through to an [`ArtifactStore`] before computing, and
+//! fresh builds write through after. Artifacts are content-addressed by
+//! `(network, scale, seed, policy, code version)`, so a stale store can
+//! never change results — at worst it misses. A corrupt store file warns
+//! on stderr and recomputes; it never fails a run.
+//!
+//! A build that *panics* does not poison its cache slot: the panic payload
+//! is re-raised unchanged for the builder, waiting requesters fail with
+//! the original message, and the slot is evicted so a later request can
+//! retry — which is what keeps a long-lived daemon serviceable after one
+//! bad request.
 
 use crate::timing;
 use ola_baselines::{EyerissSim, ZenaSim};
@@ -29,11 +42,15 @@ use ola_nn::{Network, Params};
 use ola_sim::policy::FirstLayerPolicy;
 use ola_sim::workload::{extract_from_acts, WorkloadSet};
 use ola_sim::{NetworkRun, QuantPolicy};
+use ola_store::{ArtifactStore, StoreError};
 use ola_tensor::init::uniform_tensor;
 use ola_tensor::Tensor;
 use std::collections::HashMap;
+use std::hash::Hash;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// The experiment suite's base preparation seed. Input tensors derive from
 /// `seed + scale` and parameter synthesis from a seed-dependent offset, so
@@ -96,12 +113,7 @@ impl Prepared {
     /// but equally deterministic preparation).
     pub fn with_seed(network: &str, scale: usize, seed: u64) -> Self {
         let (net, params, input) = timing::timed(timing::Phase::Synthesize, || {
-            let cfg = ZooConfig {
-                spatial_scale: scale,
-                include_classifier: true,
-                batch: 1,
-            };
-            let net = zoo::by_name(network, &cfg);
+            let net = zoo::by_name(network, &zoo_config(scale));
             let synth_cfg = SynthConfig::for_network_seeded(network, seed ^ DEFAULT_SEED);
             let mut params = ola_nn::synth::synthesize_params(&net, &synth_cfg);
             let input = uniform_tensor(
@@ -158,6 +170,25 @@ impl Prepared {
             self.workloads(&QuantPolicy::olaccel8(&self.network)),
         )
     }
+}
+
+/// The zoo configuration every preparation (cold build or store reload)
+/// uses for a given spatial scale.
+pub(crate) fn zoo_config(scale: usize) -> ZooConfig {
+    ZooConfig {
+        spatial_scale: scale,
+        include_classifier: true,
+        batch: 1,
+    }
+}
+
+/// Locks a mutex, recovering the guard if another thread panicked while
+/// holding it. Every structure these locks protect is valid at all times
+/// (slot maps and counters are updated atomically under the lock), so a
+/// poisoned lock carries no integrity risk — propagating it would only
+/// replace the original panic's message with a generic `PoisonError`.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Fetches (or builds, exactly once per process) the shared [`Prepared`]
@@ -232,6 +263,12 @@ pub struct CacheStats {
     pub workload_hits: u64,
     /// Workload-set requests that triggered an extraction.
     pub workload_misses: u64,
+    /// Requests served by loading an artifact from the disk store (these
+    /// count as neither "built" nor "extracted" — no computation ran).
+    pub disk_hits: u64,
+    /// Disk-store lookups that found nothing usable (missing file, stale
+    /// code version, or a corrupt artifact that forced a recompute).
+    pub disk_misses: u64,
 }
 
 impl CacheStats {
@@ -239,13 +276,107 @@ impl CacheStats {
     pub fn render(&self) -> String {
         format!(
             "prepared networks: {} built, {} cache hits\n\
-             workload sets:     {} extracted, {} cache hits",
-            self.prepared_misses, self.prepared_hits, self.workload_misses, self.workload_hits
+             workload sets:     {} extracted, {} cache hits\n\
+             disk artifacts:    {} loaded, {} missed",
+            self.prepared_misses,
+            self.prepared_hits,
+            self.workload_misses,
+            self.workload_hits,
+            self.disk_hits,
+            self.disk_misses
         )
+    }
+
+    /// The counter-wise difference `self - before` (saturating), for
+    /// delta-over-a-run reporting.
+    pub fn since(&self, before: &CacheStats) -> CacheStats {
+        CacheStats {
+            prepared_hits: self.prepared_hits.saturating_sub(before.prepared_hits),
+            prepared_misses: self.prepared_misses.saturating_sub(before.prepared_misses),
+            workload_hits: self.workload_hits.saturating_sub(before.workload_hits),
+            workload_misses: self.workload_misses.saturating_sub(before.workload_misses),
+            disk_hits: self.disk_hits.saturating_sub(before.disk_hits),
+            disk_misses: self.disk_misses.saturating_sub(before.disk_misses),
+        }
     }
 }
 
-/// Process-wide memoization of [`Prepared`] networks and [`WorkloadSet`]s.
+/// A per-key exactly-once slot. The `Result` (rather than the value
+/// directly) is what keeps a panicking build from poisoning the slot's
+/// inner `Once`: the init closure catches the panic and stores the
+/// message, so the `OnceLock` itself always completes cleanly.
+pub(crate) type Slot<T> = Arc<OnceLock<Result<Arc<T>, String>>>;
+
+/// What a cache fill actually did (a memory hit runs no fill at all).
+pub(crate) enum Fill {
+    /// Loaded from the disk store; no computation ran.
+    Disk,
+    /// Computed from scratch.
+    Built,
+}
+
+/// Removes `slot` from `map` iff it is still the slot registered under
+/// `key` — a failed build evicts itself so later requests retry, without
+/// ever discarding a *successful* replacement that raced in.
+fn evict_slot<K: Eq + Hash, T>(map: &Mutex<HashMap<K, Slot<T>>>, key: &K, slot: &Slot<T>) {
+    let mut m = lock_unpoisoned(map);
+    if m.get(key).is_some_and(|cur| Arc::ptr_eq(cur, slot)) {
+        m.remove(key);
+    }
+}
+
+/// The exactly-once fill protocol shared by both cache levels: find or
+/// insert the key's slot, run `build` in at most one caller, and report
+/// what happened (`None` = served from memory). A panicking build is
+/// re-raised with its original payload for the builder, re-raised by
+/// message for every waiter, and evicts its slot so the key stays
+/// retryable.
+pub(crate) fn fill_slot<K, T>(
+    map: &Mutex<HashMap<K, Slot<T>>>,
+    key: K,
+    build: impl FnOnce() -> (Arc<T>, Fill),
+) -> (Arc<T>, Option<Fill>)
+where
+    K: Eq + Hash + Clone,
+{
+    let slot = {
+        let mut m = lock_unpoisoned(map);
+        m.entry(key.clone()).or_default().clone()
+    };
+    let mut fill = None;
+    let mut payload: Option<Box<dyn std::any::Any + Send>> = None;
+    let result = slot
+        .get_or_init(|| match catch_unwind(AssertUnwindSafe(build)) {
+            Ok((v, f)) => {
+                fill = Some(f);
+                Ok(v)
+            }
+            Err(p) => {
+                let msg = crate::engine::panic_message(p.as_ref());
+                payload = Some(p);
+                Err(msg)
+            }
+        })
+        .clone();
+    if let Some(p) = payload {
+        // We were the builder and the build panicked: make the key
+        // retryable, then let the original panic continue unchanged.
+        evict_slot(map, &key, &slot);
+        resume_unwind(p);
+    }
+    match result {
+        Ok(v) => (v, fill),
+        Err(msg) => {
+            // A concurrent builder failed; surface its message (the evict
+            // is a no-op if the builder already did it).
+            evict_slot(map, &key, &slot);
+            panic!("{msg}");
+        }
+    }
+}
+
+/// Process-wide memoization of [`Prepared`] networks and [`WorkloadSet`]s,
+/// with an optional persistent disk tier.
 ///
 /// Each map slot holds an `Arc<OnceLock<..>>`: the outer mutex is held only
 /// long enough to find or insert the slot, and the `OnceLock` guarantees
@@ -254,12 +385,15 @@ impl CacheStats {
 /// serialize on each other's builds.
 #[derive(Default)]
 pub struct PrepCache {
-    prepared: Mutex<HashMap<PrepKey, Arc<OnceLock<Arc<Prepared>>>>>,
-    workloads: Mutex<HashMap<WsKey, Arc<OnceLock<Arc<WorkloadSet>>>>>,
+    prepared: Mutex<HashMap<PrepKey, Slot<Prepared>>>,
+    workloads: Mutex<HashMap<WsKey, Slot<WorkloadSet>>>,
+    disk: Mutex<Option<Arc<ArtifactStore>>>,
     prepared_hits: AtomicU64,
     prepared_misses: AtomicU64,
     workload_hits: AtomicU64,
     workload_misses: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
 }
 
 impl PrepCache {
@@ -274,30 +408,110 @@ impl PrepCache {
         GLOBAL.get_or_init(PrepCache::new)
     }
 
-    /// Fetches or builds the [`Prepared`] network for a key. Exactly one
-    /// caller per key runs the synthesis; the rest count hits.
-    pub fn prepared(&self, network: &str, scale: usize, seed: u64) -> Arc<Prepared> {
-        let slot = {
-            let mut map = self.prepared.lock().unwrap();
-            map.entry((network.to_string(), scale, seed))
-                .or_default()
-                .clone()
+    /// Attaches (or, with `None`, detaches) the persistent disk tier.
+    /// Misses read through to the store before computing and fresh builds
+    /// write through after; already-resident entries are unaffected.
+    pub fn set_disk(&self, dir: Option<&Path>) -> Result<(), StoreError> {
+        let store = match dir {
+            Some(d) => Some(Arc::new(ArtifactStore::open(d)?)),
+            None => None,
         };
-        let mut built = false;
-        let value = slot
-            .get_or_init(|| {
-                built = true;
-                let mut p = Prepared::with_seed(network, scale, seed);
-                p.cached = true;
-                Arc::new(p)
-            })
-            .clone();
-        if built {
-            self.prepared_misses.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.prepared_hits.fetch_add(1, Ordering::Relaxed);
-        }
+        *lock_unpoisoned(&self.disk) = store;
+        Ok(())
+    }
+
+    /// The currently attached disk store, if any.
+    fn disk_store(&self) -> Option<Arc<ArtifactStore>> {
+        lock_unpoisoned(&self.disk).clone()
+    }
+
+    /// Fetches or builds the [`Prepared`] network for a key. Exactly one
+    /// caller per key runs the synthesis (or the disk load); the rest
+    /// count hits.
+    pub fn prepared(&self, network: &str, scale: usize, seed: u64) -> Arc<Prepared> {
+        let key = (network.to_string(), scale, seed);
+        let (value, fill) = fill_slot(&self.prepared, key, || {
+            self.build_prepared(network, scale, seed)
+        });
+        self.count_fill(fill, &self.prepared_hits, &self.prepared_misses);
         value
+    }
+
+    /// The fill path of [`PrepCache::prepared`]: disk first, compute
+    /// second, write-through after a compute.
+    fn build_prepared(&self, network: &str, scale: usize, seed: u64) -> (Arc<Prepared>, Fill) {
+        let store = self.disk_store();
+        if let Some(store) = &store {
+            if let Some(p) = self.load_prepared(store, network, scale, seed) {
+                return (Arc::new(p), Fill::Disk);
+            }
+        }
+        let mut p = Prepared::with_seed(network, scale, seed);
+        p.cached = true;
+        if let Some(store) = &store {
+            if let Err(e) = store.save_prepared(network, scale, seed, &p.params, &p.acts) {
+                eprintln!(
+                    "warning: failed to persist prepared {network} (scale {scale}) \
+                     to {}: {e}",
+                    store.dir().display()
+                );
+            }
+        }
+        (Arc::new(p), Fill::Built)
+    }
+
+    /// Attempts the disk tier for a prepared network. Any failure — missing
+    /// file, stale code version, corrupt bytes, graph mismatch — returns
+    /// `None` (counting a disk miss, warning on corruption) so the caller
+    /// recomputes; it never aborts the run.
+    fn load_prepared(
+        &self,
+        store: &ArtifactStore,
+        network: &str,
+        scale: usize,
+        seed: u64,
+    ) -> Option<Prepared> {
+        let loaded = timing::timed(timing::Phase::Load, || {
+            let (params, acts) = match store.load_prepared(network, scale, seed) {
+                Ok(Some(v)) => v,
+                Ok(None) => return None,
+                Err(e) => {
+                    eprintln!(
+                        "warning: ignoring corrupt prepared artifact for {network} \
+                         (scale {scale}) in {}: {e}; recomputing",
+                        store.dir().display()
+                    );
+                    return None;
+                }
+            };
+            // The graph is not stored — it is cheap and fully determined by
+            // (network, scale) — so rebuild it and sanity-check the stored
+            // tensors against it before trusting them.
+            let net = zoo::by_name(network, &zoo_config(scale));
+            if params.len() != net.nodes().len() || acts.len() != net.nodes().len() {
+                eprintln!(
+                    "warning: prepared artifact for {network} (scale {scale}) does not \
+                     match the graph ({} params / {} acts for {} nodes); recomputing",
+                    params.len(),
+                    acts.len(),
+                    net.nodes().len()
+                );
+                return None;
+            }
+            Some(Prepared {
+                net,
+                params,
+                acts,
+                network: network.to_string(),
+                scale,
+                seed,
+                cached: true,
+            })
+        });
+        if loaded.is_none() {
+            self.disk_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        loaded
     }
 
     /// Fetches or extracts the [`WorkloadSet`] of `prep` under `policy`.
@@ -308,23 +522,88 @@ impl PrepCache {
             prep.seed,
             PolicyKey::from(policy),
         );
-        let slot = {
-            let mut map = self.workloads.lock().unwrap();
-            map.entry(key).or_default().clone()
-        };
-        let mut built = false;
-        let value = slot
-            .get_or_init(|| {
-                built = true;
-                Arc::new(prep.extract(policy))
-            })
-            .clone();
-        if built {
-            self.workload_misses.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.workload_hits.fetch_add(1, Ordering::Relaxed);
-        }
+        let (value, fill) = fill_slot(&self.workloads, key, || self.build_workloads(prep, policy));
+        self.count_fill(fill, &self.workload_hits, &self.workload_misses);
         value
+    }
+
+    /// The fill path of [`PrepCache::workloads_for`]: disk first, extract
+    /// second, write-through after an extract.
+    fn build_workloads(&self, prep: &Prepared, policy: &QuantPolicy) -> (Arc<WorkloadSet>, Fill) {
+        let store = self.disk_store();
+        if let Some(store) = &store {
+            if let Some(ws) = self.load_workloads(store, prep, policy) {
+                return (Arc::new(ws), Fill::Disk);
+            }
+        }
+        let ws = prep.extract(policy);
+        if let Some(store) = &store {
+            if let Err(e) = store.save_workloads(&prep.network, prep.scale, prep.seed, &ws) {
+                eprintln!(
+                    "warning: failed to persist workloads for {} (scale {}) to {}: {e}",
+                    prep.network,
+                    prep.scale,
+                    store.dir().display()
+                );
+            }
+        }
+        (Arc::new(ws), Fill::Built)
+    }
+
+    /// Attempts the disk tier for a workload set; same never-fail contract
+    /// as [`PrepCache::load_prepared`].
+    fn load_workloads(
+        &self,
+        store: &ArtifactStore,
+        prep: &Prepared,
+        policy: &QuantPolicy,
+    ) -> Option<WorkloadSet> {
+        let loaded = timing::timed(timing::Phase::Load, || {
+            match store.load_workloads(&prep.network, prep.scale, prep.seed, policy) {
+                Ok(Some(mut ws)) if ws.network == prep.network => {
+                    // Equal-fingerprint policies extract identically, but
+                    // may differ in f64 bit pattern (-0.0 vs 0.0); carry
+                    // the *requested* policy so the in-memory set is
+                    // bit-identical to a cold extraction.
+                    ws.policy = *policy;
+                    Some(ws)
+                }
+                Ok(Some(ws)) => {
+                    eprintln!(
+                        "warning: workload artifact in {} names network {:?}, \
+                         expected {:?}; recomputing",
+                        store.dir().display(),
+                        ws.network,
+                        prep.network
+                    );
+                    None
+                }
+                Ok(None) => None,
+                Err(e) => {
+                    eprintln!(
+                        "warning: ignoring corrupt workload artifact for {} (scale {}) \
+                         in {}: {e}; recomputing",
+                        prep.network,
+                        prep.scale,
+                        store.dir().display()
+                    );
+                    None
+                }
+            }
+        });
+        if loaded.is_none() {
+            self.disk_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        loaded
+    }
+
+    /// Folds one fill outcome into the counters.
+    fn count_fill(&self, fill: Option<Fill>, hits: &AtomicU64, misses: &AtomicU64) {
+        match fill {
+            None => hits.fetch_add(1, Ordering::Relaxed),
+            Some(Fill::Built) => misses.fetch_add(1, Ordering::Relaxed),
+            Some(Fill::Disk) => self.disk_hits.fetch_add(1, Ordering::Relaxed),
+        };
     }
 
     /// Snapshots the hit/miss counters.
@@ -334,22 +613,28 @@ impl PrepCache {
             prepared_misses: self.prepared_misses.load(Ordering::Relaxed),
             workload_hits: self.workload_hits.load(Ordering::Relaxed),
             workload_misses: self.workload_misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.disk_misses.load(Ordering::Relaxed),
         }
     }
 
     /// Drops every entry and zeroes the counters (test isolation; also
-    /// frees the memory of a long-lived process between suites).
+    /// frees the memory of a long-lived process between suites). The disk
+    /// tier, if attached, stays attached — its artifacts are exactly what
+    /// makes the next fill cheap.
     pub fn reset(&self) {
         // Take both map locks for the whole reset so a concurrent request
         // can't observe cleared stats against a still-populated map.
-        let mut prepared = self.prepared.lock().unwrap();
-        let mut workloads = self.workloads.lock().unwrap();
+        let mut prepared = lock_unpoisoned(&self.prepared);
+        let mut workloads = lock_unpoisoned(&self.workloads);
         prepared.clear();
         workloads.clear();
         self.prepared_hits.store(0, Ordering::Relaxed);
         self.prepared_misses.store(0, Ordering::Relaxed);
         self.workload_hits.store(0, Ordering::Relaxed);
         self.workload_misses.store(0, Ordering::Relaxed);
+        self.disk_hits.store(0, Ordering::Relaxed);
+        self.disk_misses.store(0, Ordering::Relaxed);
     }
 }
 

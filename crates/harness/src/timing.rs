@@ -22,12 +22,16 @@ pub enum Phase {
     Extract,
     /// SynthNet SGD training (the fig2/fig3 accuracy experiments).
     Train,
+    /// Loading (and validating) artifacts from the on-disk store — the
+    /// warm-cache replacement for Synthesize/Forward/Extract.
+    Load,
 }
 
 static SYNTHESIZE_NS: AtomicU64 = AtomicU64::new(0);
 static FORWARD_NS: AtomicU64 = AtomicU64::new(0);
 static EXTRACT_NS: AtomicU64 = AtomicU64::new(0);
 static TRAIN_NS: AtomicU64 = AtomicU64::new(0);
+static LOAD_NS: AtomicU64 = AtomicU64::new(0);
 
 fn counter(phase: Phase) -> &'static AtomicU64 {
     match phase {
@@ -35,6 +39,7 @@ fn counter(phase: Phase) -> &'static AtomicU64 {
         Phase::Forward => &FORWARD_NS,
         Phase::Extract => &EXTRACT_NS,
         Phase::Train => &TRAIN_NS,
+        Phase::Load => &LOAD_NS,
     }
 }
 
@@ -62,12 +67,14 @@ pub struct PhaseStats {
     pub extract: Duration,
     /// Time spent training SynthNet for the accuracy figures.
     pub train: Duration,
+    /// Time spent loading artifacts from the on-disk store.
+    pub load: Duration,
 }
 
 impl PhaseStats {
     /// The sum of the instrumented phases.
     pub fn instrumented(&self) -> Duration {
-        self.synthesize + self.forward + self.extract + self.train
+        self.synthesize + self.forward + self.extract + self.train + self.load
     }
 
     /// The phase-wise difference `self - before` (saturating), for
@@ -78,6 +85,7 @@ impl PhaseStats {
             forward: self.forward.saturating_sub(before.forward),
             extract: self.extract.saturating_sub(before.extract),
             train: self.train.saturating_sub(before.train),
+            load: self.load.saturating_sub(before.load),
         }
     }
 
@@ -87,11 +95,12 @@ impl PhaseStats {
     pub fn render(&self, busy: Duration) -> String {
         let model = busy.saturating_sub(self.instrumented());
         format!(
-            "phases: synthesize {:.3}s, forward {:.3}s, extract {:.3}s, train {:.3}s, model+report {:.3}s",
+            "phases: synthesize {:.3}s, forward {:.3}s, extract {:.3}s, train {:.3}s, load {:.3}s, model+report {:.3}s",
             self.synthesize.as_secs_f64(),
             self.forward.as_secs_f64(),
             self.extract.as_secs_f64(),
             self.train.as_secs_f64(),
+            self.load.as_secs_f64(),
             model.as_secs_f64(),
         )
     }
@@ -104,6 +113,7 @@ pub fn snapshot() -> PhaseStats {
         forward: Duration::from_nanos(FORWARD_NS.load(Ordering::Relaxed)),
         extract: Duration::from_nanos(EXTRACT_NS.load(Ordering::Relaxed)),
         train: Duration::from_nanos(TRAIN_NS.load(Ordering::Relaxed)),
+        load: Duration::from_nanos(LOAD_NS.load(Ordering::Relaxed)),
     }
 }
 

@@ -208,12 +208,28 @@ pub struct Params {
 impl Params {
     /// Creates an empty parameter set sized for `net`.
     pub fn for_network(net: &Network) -> Self {
-        let n = net.nodes().len();
+        Self::sized(net.nodes().len())
+    }
+
+    /// Creates an empty parameter set with `n` node slots (deserialization;
+    /// prefer [`Params::for_network`] when the graph is at hand).
+    pub fn sized(n: usize) -> Self {
         Params {
             weights: vec![None; n],
             biases: vec![None; n],
             bn: vec![None; n],
         }
+    }
+
+    /// Number of node slots (equals the node count of the network this set
+    /// was sized for).
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the set has no node slots.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
     }
 
     /// Sets the weights of node `id`.

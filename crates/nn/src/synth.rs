@@ -67,6 +67,26 @@ impl SyntheticMatrix {
         self.rows * self.cols
     }
 
+    /// The heavy-tailed mixture rows are drawn from.
+    ///
+    /// Together with [`SyntheticMatrix::sparsity`] and
+    /// [`SyntheticMatrix::base_seed`] this is the generator's complete
+    /// identity — the artifact store persists these five scalars instead of
+    /// the (potentially hundreds of megabytes of) materialized values.
+    pub fn dist(&self) -> ola_tensor::init::HeavyTailed {
+        self.dist
+    }
+
+    /// Per-row magnitude-pruning sparsity target.
+    pub fn sparsity(&self) -> f64 {
+        self.sparsity
+    }
+
+    /// The base seed every row's Philox stream derives from.
+    pub fn base_seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Whether the matrix is empty (never true by construction).
     pub fn is_empty(&self) -> bool {
         false

@@ -1,0 +1,502 @@
+//! (De)serialization of the workspace's prepared-network and workload
+//! artifacts onto the [`crate::wire`] primitives.
+//!
+//! Every float travels by bit pattern, so a decoded artifact is
+//! *bit-identical* to the one that was encoded — the property that lets a
+//! warm disk cache reproduce a cold run's stdout byte for byte. Decoding
+//! never panics on malformed bytes: every structural invariant (tags,
+//! dimensions, ranges) is validated and surfaces as
+//! [`StoreError::Corrupt`].
+
+use crate::wire::{corrupt, Reader, StoreError, Writer};
+use ola_energy::ComparisonMode;
+use ola_nn::network::WeightStore;
+use ola_nn::synth::SyntheticMatrix;
+use ola_nn::Params;
+use ola_sim::policy::FirstLayerPolicy;
+use ola_sim::workload::{LayerKind, LayerWorkload, Shape4Ser, WorkloadSet};
+use ola_sim::{OutlierSelect, QuantPolicy};
+use ola_tensor::init::HeavyTailed;
+use ola_tensor::{Shape4, Tensor};
+
+/// Upper bound on any single tensor dimension accepted from disk — far
+/// beyond anything the zoo produces, small enough that a corrupt length
+/// fails validation instead of attempting an absurd allocation.
+const MAX_DIM: u64 = 1 << 24;
+
+// --- tensors ---
+
+/// Encodes a tensor: shape as four `u64`s, then the length-prefixed data.
+pub fn encode_tensor(w: &mut Writer, t: &Tensor) {
+    let s = t.shape();
+    w.u64(s.n as u64);
+    w.u64(s.c as u64);
+    w.u64(s.h as u64);
+    w.u64(s.w as u64);
+    w.f32s(t.as_slice());
+}
+
+/// Decodes a tensor written by [`encode_tensor`].
+pub fn decode_tensor(r: &mut Reader<'_>) -> Result<Tensor, StoreError> {
+    let dims = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+    if dims.iter().any(|&d| d > MAX_DIM) {
+        return Err(corrupt(format!("implausible tensor dimension {dims:?}")));
+    }
+    let len = dims
+        .iter()
+        .try_fold(1u64, |acc, &d| acc.checked_mul(d))
+        .filter(|&l| l <= MAX_DIM * 16)
+        .ok_or_else(|| corrupt("tensor element count overflows"))?;
+    let data = r.f32s()?;
+    if data.len() as u64 != len {
+        return Err(corrupt(format!(
+            "tensor data length {} does not match shape {dims:?}",
+            data.len()
+        )));
+    }
+    let shape = Shape4::new(
+        dims[0] as usize,
+        dims[1] as usize,
+        dims[2] as usize,
+        dims[3] as usize,
+    );
+    Ok(Tensor::from_vec(shape, data))
+}
+
+// --- parameters ---
+
+const WS_NONE: u8 = 0;
+const WS_DENSE: u8 = 1;
+const WS_ROWGEN: u8 = 2;
+
+fn encode_weight_store(w: &mut Writer, ws: &WeightStore) {
+    match ws {
+        WeightStore::Dense(t) => {
+            w.u8(WS_DENSE);
+            encode_tensor(w, t);
+        }
+        WeightStore::RowGen(g) => {
+            // A generated matrix is five scalars: rows regenerate
+            // bit-identically from (seed, row) on load.
+            w.u8(WS_ROWGEN);
+            w.u64(g.rows() as u64);
+            w.u64(g.cols() as u64);
+            let d = g.dist();
+            w.f32(d.sigma);
+            w.f64(d.tail_fraction);
+            w.f32(d.tail_scale);
+            w.f64(g.sparsity());
+            w.u64(g.base_seed());
+        }
+    }
+}
+
+#[cfg(test)]
+fn decode_weight_store(r: &mut Reader<'_>) -> Result<WeightStore, StoreError> {
+    match r.u8()? {
+        WS_DENSE => Ok(WeightStore::Dense(decode_tensor(r)?)),
+        WS_ROWGEN => decode_rowgen_body(r),
+        other => Err(corrupt(format!("unknown weight-store tag {other}"))),
+    }
+}
+
+/// Encodes a parameter set: node count, then per node the optional
+/// weights, bias and batch-norm affine terms.
+pub fn encode_params(w: &mut Writer, params: &Params) {
+    w.len(params.len());
+    for id in 0..params.len() {
+        match params.weights(id) {
+            None => w.u8(WS_NONE),
+            Some(ws) => encode_weight_store(w, ws),
+        }
+        match params.bias(id) {
+            None => w.u8(0),
+            Some(b) => {
+                w.u8(1);
+                w.f32s(b);
+            }
+        }
+        match params.bn(id) {
+            None => w.u8(0),
+            Some((scale, shift)) => {
+                w.u8(1);
+                w.f32s(scale);
+                w.f32s(shift);
+            }
+        }
+    }
+}
+
+/// Decodes a parameter set written by [`encode_params`].
+pub fn decode_params(r: &mut Reader<'_>) -> Result<Params, StoreError> {
+    let n = r.len(3)?;
+    let mut params = Params::sized(n);
+    for id in 0..n {
+        match r.u8()? {
+            WS_NONE => {}
+            WS_DENSE => params.set_weights(id, WeightStore::Dense(decode_tensor(r)?)),
+            WS_ROWGEN => params.set_weights(id, decode_rowgen_body(r)?),
+            other => return Err(corrupt(format!("unknown weight-store tag {other}"))),
+        }
+        if r.u8()? == 1 {
+            params.set_bias(id, r.f32s()?);
+        }
+        if r.u8()? == 1 {
+            let scale = r.f32s()?;
+            let shift = r.f32s()?;
+            params.set_bn(id, scale, shift);
+        }
+    }
+    Ok(params)
+}
+
+/// Decodes the body of a row-generator record (tag already consumed),
+/// re-validating every constructor precondition so corrupt bytes surface
+/// as [`StoreError::Corrupt`] rather than panicking inside `ola-nn`.
+fn decode_rowgen_body(r: &mut Reader<'_>) -> Result<WeightStore, StoreError> {
+    let rows = r.u64()?;
+    let cols = r.u64()?;
+    let sigma = r.f32()?;
+    let tail_fraction = r.f64()?;
+    let tail_scale = r.f32()?;
+    let sparsity = r.f64()?;
+    let seed = r.u64()?;
+    if rows == 0 || cols == 0 || rows > MAX_DIM || cols > MAX_DIM {
+        return Err(corrupt("row-generator dimensions out of range"));
+    }
+    if !(0.0..=1.0).contains(&sparsity) || !(0.0..=1.0).contains(&tail_fraction) {
+        return Err(corrupt("row-generator fraction out of range"));
+    }
+    if !sigma.is_finite() || sigma <= 0.0 || !tail_scale.is_finite() || tail_scale <= 0.0 {
+        return Err(corrupt("row-generator scale out of range"));
+    }
+    Ok(WeightStore::RowGen(SyntheticMatrix::new(
+        rows as usize,
+        cols as usize,
+        HeavyTailed::new(sigma, tail_fraction, tail_scale),
+        sparsity,
+        seed,
+    )))
+}
+
+// --- quantization policy ---
+
+/// Encodes a policy by exact bit pattern (round-trip identity).
+pub fn encode_policy(w: &mut Writer, p: &QuantPolicy) {
+    w.u8(match p.mode {
+        ComparisonMode::Bits16 => 0,
+        ComparisonMode::Bits8 => 1,
+    });
+    w.u32(p.low_bits);
+    w.f64(p.outlier_ratio);
+    w.u8(match p.first_layer {
+        FirstLayerPolicy::RawActs => 0,
+        FirstLayerPolicy::RawActsWideWeights => 1,
+        FirstLayerPolicy::FineTuned4Bit => 2,
+    });
+    match p.select {
+        OutlierSelect::MagnitudePercentile => w.u8(0),
+        OutlierSelect::WindowedTopK { window } => {
+            w.u8(1);
+            w.u64(window as u64);
+        }
+        OutlierSelect::SensitivityWeighted { window } => {
+            w.u8(2);
+            w.u64(window as u64);
+        }
+    }
+}
+
+/// Decodes a policy written by [`encode_policy`].
+pub fn decode_policy(r: &mut Reader<'_>) -> Result<QuantPolicy, StoreError> {
+    let mode = match r.u8()? {
+        0 => ComparisonMode::Bits16,
+        1 => ComparisonMode::Bits8,
+        other => return Err(corrupt(format!("unknown comparison mode {other}"))),
+    };
+    let low_bits = r.u32()?;
+    let outlier_ratio = r.f64()?;
+    let first_layer = match r.u8()? {
+        0 => FirstLayerPolicy::RawActs,
+        1 => FirstLayerPolicy::RawActsWideWeights,
+        2 => FirstLayerPolicy::FineTuned4Bit,
+        other => return Err(corrupt(format!("unknown first-layer policy {other}"))),
+    };
+    let select = match r.u8()? {
+        0 => OutlierSelect::MagnitudePercentile,
+        tag @ (1 | 2) => {
+            let window = r.u64()?;
+            if window == 0 || window > MAX_DIM {
+                return Err(corrupt("policy window out of range"));
+            }
+            if tag == 1 {
+                OutlierSelect::WindowedTopK {
+                    window: window as usize,
+                }
+            } else {
+                OutlierSelect::SensitivityWeighted {
+                    window: window as usize,
+                }
+            }
+        }
+        other => return Err(corrupt(format!("unknown outlier-select tag {other}"))),
+    };
+    Ok(QuantPolicy {
+        mode,
+        low_bits,
+        outlier_ratio,
+        first_layer,
+        select,
+    })
+}
+
+/// A policy's content-address fingerprint: the FNV of its canonical
+/// encoding, with the outlier ratio folded the same way the in-memory
+/// cache key folds it (`-0.0` onto `0.0`, every NaN onto the quiet NaN) so
+/// policies that extract identically share one artifact.
+pub fn policy_fingerprint(p: &QuantPolicy) -> u64 {
+    let mut canon = *p;
+    canon.outlier_ratio = if canon.outlier_ratio == 0.0 {
+        0.0
+    } else if canon.outlier_ratio.is_nan() {
+        f64::from_bits(0x7ff8_0000_0000_0000)
+    } else {
+        canon.outlier_ratio
+    };
+    let mut w = Writer::new();
+    encode_policy(&mut w, &canon);
+    crate::wire::fnv1a64(&w.into_bytes())
+}
+
+// --- workload sets ---
+
+fn encode_shape_ser(w: &mut Writer, s: &Shape4Ser) {
+    w.u64(s.n as u64);
+    w.u64(s.c as u64);
+    w.u64(s.h as u64);
+    w.u64(s.w as u64);
+}
+
+fn decode_shape_ser(r: &mut Reader<'_>) -> Result<Shape4Ser, StoreError> {
+    let dims = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+    if dims.iter().any(|&d| d > MAX_DIM) {
+        return Err(corrupt("implausible workload shape"));
+    }
+    Ok(Shape4Ser {
+        n: dims[0] as usize,
+        c: dims[1] as usize,
+        h: dims[2] as usize,
+        w: dims[3] as usize,
+    })
+}
+
+fn encode_layer(w: &mut Writer, l: &LayerWorkload) {
+    w.string(&l.name);
+    w.u64(l.index as u64);
+    w.u8(match l.kind {
+        LayerKind::Conv => 0,
+        LayerKind::Fc => 1,
+    });
+    encode_shape_ser(w, &l.in_shape);
+    encode_shape_ser(w, &l.out_shape);
+    w.u64(l.kernel as u64);
+    w.u64(l.macs);
+    w.u64(l.weight_count);
+    w.u32(l.weight_bits);
+    w.u32(l.act_bits);
+    w.f64(l.weight_zero_fraction);
+    w.f64(l.act_zero_fraction);
+    w.f64(l.weight_outlier_ratio);
+    w.f64(l.act_outlier_nonzero_ratio);
+    w.f64(l.act_effective_outlier_ratio);
+    w.bytes(&l.chunk_nnz);
+    w.bytes(&l.chunk_zero_quads);
+    w.f64(l.wchunk_single_fraction);
+    w.f64(l.wchunk_multi_fraction);
+    w.f64(l.out_zero_fraction);
+}
+
+fn decode_layer(r: &mut Reader<'_>) -> Result<LayerWorkload, StoreError> {
+    Ok(LayerWorkload {
+        name: r.string()?,
+        index: r.u64()? as usize,
+        kind: match r.u8()? {
+            0 => LayerKind::Conv,
+            1 => LayerKind::Fc,
+            other => return Err(corrupt(format!("unknown layer kind {other}"))),
+        },
+        in_shape: decode_shape_ser(r)?,
+        out_shape: decode_shape_ser(r)?,
+        kernel: r.u64()? as usize,
+        macs: r.u64()?,
+        weight_count: r.u64()?,
+        weight_bits: r.u32()?,
+        act_bits: r.u32()?,
+        weight_zero_fraction: r.f64()?,
+        act_zero_fraction: r.f64()?,
+        weight_outlier_ratio: r.f64()?,
+        act_outlier_nonzero_ratio: r.f64()?,
+        act_effective_outlier_ratio: r.f64()?,
+        chunk_nnz: r.bytes()?.to_vec(),
+        chunk_zero_quads: r.bytes()?.to_vec(),
+        wchunk_single_fraction: r.f64()?,
+        wchunk_multi_fraction: r.f64()?,
+        out_zero_fraction: r.f64()?,
+    })
+}
+
+/// Encodes a full workload set (network, policy, per-layer workloads).
+pub fn encode_workload_set(w: &mut Writer, ws: &WorkloadSet) {
+    w.string(&ws.network);
+    encode_policy(w, &ws.policy);
+    w.len(ws.layers.len());
+    for l in &ws.layers {
+        encode_layer(w, l);
+    }
+}
+
+/// Decodes a workload set written by [`encode_workload_set`].
+pub fn decode_workload_set(r: &mut Reader<'_>) -> Result<WorkloadSet, StoreError> {
+    let network = r.string()?;
+    let policy = decode_policy(r)?;
+    let n = r.len(1)?;
+    let mut layers = Vec::with_capacity(n);
+    for _ in 0..n {
+        layers.push(decode_layer(r)?);
+    }
+    Ok(WorkloadSet {
+        network,
+        policy,
+        layers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_codec_round_trips_bits() {
+        let t = Tensor::from_vec(
+            Shape4::new(1, 2, 2, 2),
+            vec![0.0, -0.0, f32::NAN, 1.5, -2.5, f32::INFINITY, 3.0, -4.0],
+        );
+        let mut w = Writer::new();
+        encode_tensor(&mut w, &t);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        let back = decode_tensor(&mut r).unwrap();
+        r.finish().unwrap();
+        let a: Vec<u32> = t.as_slice().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = back.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+        assert_eq!(back.shape(), t.shape());
+    }
+
+    #[test]
+    fn params_codec_round_trips_every_store_kind() {
+        let mut params = Params::sized(4);
+        params.set_weights(
+            1,
+            WeightStore::Dense(Tensor::from_vec(
+                Shape4::new(2, 1, 1, 2),
+                vec![1.0, -2.0, 0.0, 4.5],
+            )),
+        );
+        params.set_bias(1, vec![0.5, -0.5]);
+        params.set_weights(
+            2,
+            WeightStore::RowGen(SyntheticMatrix::new(
+                8,
+                16,
+                HeavyTailed::new(0.02, 0.03, 6.0),
+                0.9,
+                1234,
+            )),
+        );
+        params.set_bn(3, vec![1.0, 2.0], vec![-1.0, -2.0]);
+
+        let mut w = Writer::new();
+        encode_params(&mut w, &params);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        let back = decode_params(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(back.len(), 4);
+        assert!(back.weights(0).is_none());
+        match (params.weights(2).unwrap(), back.weights(2).unwrap()) {
+            (WeightStore::RowGen(a), WeightStore::RowGen(b)) => {
+                assert_eq!(a, b);
+                assert_eq!(a.row(3), b.row(3), "regenerated rows must match");
+            }
+            other => panic!("expected row generators, got {other:?}"),
+        }
+        match back.weights(1).unwrap() {
+            WeightStore::Dense(t) => assert_eq!(t.as_slice(), &[1.0, -2.0, 0.0, 4.5]),
+            other => panic!("expected dense weights, got {other:?}"),
+        }
+        assert_eq!(back.bias(1).unwrap(), &[0.5, -0.5]);
+        assert_eq!(back.bn(3).unwrap().0, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn policy_codec_round_trips() {
+        for p in [
+            QuantPolicy::olaccel16("alexnet"),
+            QuantPolicy::olaccel8("resnet18"),
+            {
+                let mut p = QuantPolicy::olaccel16("vgg16");
+                p.select = OutlierSelect::WindowedTopK { window: 16 };
+                p
+            },
+            {
+                let mut p = QuantPolicy::olaccel16("alexnet");
+                p.select = OutlierSelect::SensitivityWeighted { window: 8 };
+                p.outlier_ratio = 0.0;
+                p
+            },
+        ] {
+            let mut w = Writer::new();
+            encode_policy(&mut w, &p);
+            let buf = w.into_bytes();
+            let mut r = Reader::new(&buf);
+            let back = decode_policy(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(back, p);
+        }
+    }
+
+    #[test]
+    fn policy_fingerprint_canonicalizes_f64_noise() {
+        let mut a = QuantPolicy::olaccel16("alexnet");
+        let mut b = a;
+        a.outlier_ratio = 0.0;
+        b.outlier_ratio = -0.0;
+        assert_eq!(policy_fingerprint(&a), policy_fingerprint(&b));
+        a.outlier_ratio = f64::NAN;
+        b.outlier_ratio = -f64::NAN;
+        assert_eq!(policy_fingerprint(&a), policy_fingerprint(&b));
+        b.outlier_ratio = 0.01;
+        assert_ne!(policy_fingerprint(&a), policy_fingerprint(&b));
+        let mut c = QuantPolicy::olaccel16("alexnet");
+        c.select = OutlierSelect::WindowedTopK { window: 16 };
+        assert_ne!(
+            policy_fingerprint(&QuantPolicy::olaccel16("alexnet")),
+            policy_fingerprint(&c),
+            "selection rule must change the fingerprint"
+        );
+    }
+
+    #[test]
+    fn corrupt_tags_are_errors_not_panics() {
+        let mut w = Writer::new();
+        w.u8(9); // bogus weight-store tag
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            decode_weight_store(&mut r),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! Persistent content-addressed artifact store for the OLAccel
+//! reproduction.
+//!
+//! Preparing an experiment — synthesizing trained-like parameters, running
+//! the f32 forward pass, extracting per-layer workloads — dominates a cold
+//! run's wall clock, yet every one of those artifacts is a *pure function*
+//! of `(network, spatial scale, seed, quantization policy)` under the
+//! workspace's deterministic RNG. This crate persists them to disk so a
+//! second process (or a long-lived daemon) skips straight to modeling:
+//!
+//! - [`wire`]: little-endian writer/reader primitives plus the FNV-1a
+//!   checksum; decoding never panics on malformed bytes.
+//! - [`codec`]: bit-exact (de)serialization of parameters, activations and
+//!   workload sets, plus the policy fingerprint.
+//! - [`version`]: the compile-time source-text hash that content-addresses
+//!   artifacts to the code that produced them — editing any
+//!   extraction-relevant file silently invalidates the cache.
+//! - [`store`]: the framed, checksummed, atomically-committed files.
+//!
+//! Corruption is always recoverable: a bad file surfaces as
+//! [`StoreError::Corrupt`] and callers recompute (and overwrite), never
+//! fail.
+
+pub mod codec;
+pub mod store;
+pub mod version;
+pub mod wire;
+
+pub use codec::policy_fingerprint;
+pub use store::ArtifactStore;
+pub use version::{code_version, FORMAT_VERSION};
+pub use wire::{fnv1a64, StoreError};
+
+/// A unique scratch directory under the system temp dir for unit tests
+/// (process-id + monotonic counter — no wall clock, no RNG).
+#[cfg(test)]
+pub(crate) fn test_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "ola-store-test-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}

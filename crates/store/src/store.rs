@@ -1,0 +1,463 @@
+//! The on-disk artifact store: framed, checksummed, atomically-committed
+//! files keyed by `(network, scale, seed, policy, code version)`.
+//!
+//! File layout (little-endian throughout):
+//!
+//! ```text
+//! magic        4 bytes  "OLAS"
+//! format       u32      FORMAT_VERSION
+//! kind         u8       1 = prepared network, 2 = workload set
+//! network      string   length-prefixed UTF-8
+//! scale        u64      spatial scale divisor
+//! seed         u64      preparation seed
+//! policy_fp    u64      policy fingerprint (0 for prepared networks)
+//! code         u64      code-version fingerprint at write time
+//! payload_len  u64
+//! checksum     u64      FNV-1a over the payload bytes
+//! payload      payload_len bytes
+//! ```
+//!
+//! The key fields live both in the *filename* (so a stale code version
+//! simply never hits) and in the *header* (so a renamed or hand-copied
+//! file still can't be served under the wrong key). Writes go to a
+//! temporary file in the same directory and commit with an atomic
+//! `rename`, so a concurrent reader either sees the complete artifact or
+//! no artifact — never a torn one.
+
+use crate::codec::{
+    decode_params, decode_tensor, decode_workload_set, encode_params, encode_tensor,
+    encode_workload_set, policy_fingerprint,
+};
+use crate::version::{code_version, FORMAT_VERSION};
+use crate::wire::{corrupt, fnv1a64, Reader, StoreError, Writer};
+use ola_nn::Params;
+use ola_sim::workload::WorkloadSet;
+use ola_sim::QuantPolicy;
+use ola_tensor::Tensor;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const MAGIC: &[u8; 4] = b"OLAS";
+const KIND_PREPARED: u8 = 1;
+const KIND_WORKLOADS: u8 = 2;
+
+/// Distinguishes concurrent writers' temporary files within one process.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory of content-addressed artifacts.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+    code: u64,
+}
+
+/// The identifying key of one artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Key<'a> {
+    kind: u8,
+    network: &'a str,
+    scale: usize,
+    seed: u64,
+    policy_fp: u64,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if necessary) the store rooted at `dir`.
+    pub fn open(dir: &Path) -> Result<Self, StoreError> {
+        fs::create_dir_all(dir)?;
+        Ok(ArtifactStore {
+            dir: dir.to_path_buf(),
+            code: code_version(),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of a prepared-network artifact for this code version.
+    pub fn prepared_path(&self, network: &str, scale: usize, seed: u64) -> PathBuf {
+        self.dir.join(format!(
+            "prep-{network}-s{scale}-{seed:016x}-v{:016x}.olas",
+            self.code
+        ))
+    }
+
+    /// Path of a workload-set artifact for this code version.
+    pub fn workloads_path(
+        &self,
+        network: &str,
+        scale: usize,
+        seed: u64,
+        policy: &QuantPolicy,
+    ) -> PathBuf {
+        self.dir.join(format!(
+            "ws-{network}-s{scale}-{seed:016x}-p{:016x}-v{:016x}.olas",
+            policy_fingerprint(policy),
+            self.code
+        ))
+    }
+
+    /// Persists a prepared network (parameters + forward activations).
+    pub fn save_prepared(
+        &self,
+        network: &str,
+        scale: usize,
+        seed: u64,
+        params: &Params,
+        acts: &[Tensor],
+    ) -> Result<(), StoreError> {
+        let mut payload = Writer::new();
+        encode_params(&mut payload, params);
+        payload.len(acts.len());
+        for t in acts {
+            encode_tensor(&mut payload, t);
+        }
+        self.commit(
+            &self.prepared_path(network, scale, seed),
+            Key {
+                kind: KIND_PREPARED,
+                network,
+                scale,
+                seed,
+                policy_fp: 0,
+            },
+            payload.into_bytes(),
+        )
+    }
+
+    /// Loads a prepared network. `Ok(None)` means "not stored" (including
+    /// "stored by a different code version" — the filename won't match);
+    /// `Err(Corrupt)` means the file exists but its bytes can't be
+    /// trusted, and the caller should recompute.
+    #[allow(clippy::type_complexity)]
+    pub fn load_prepared(
+        &self,
+        network: &str,
+        scale: usize,
+        seed: u64,
+    ) -> Result<Option<(Params, Vec<Tensor>)>, StoreError> {
+        let Some(payload) = self.read_verified(
+            &self.prepared_path(network, scale, seed),
+            Key {
+                kind: KIND_PREPARED,
+                network,
+                scale,
+                seed,
+                policy_fp: 0,
+            },
+        )?
+        else {
+            return Ok(None);
+        };
+        let mut r = Reader::new(&payload);
+        let params = decode_params(&mut r)?;
+        let n = r.len(8)?;
+        let mut acts = Vec::with_capacity(n);
+        for _ in 0..n {
+            acts.push(decode_tensor(&mut r)?);
+        }
+        r.finish()?;
+        Ok(Some((params, acts)))
+    }
+
+    /// Persists a workload set under its extraction key.
+    pub fn save_workloads(
+        &self,
+        network: &str,
+        scale: usize,
+        seed: u64,
+        ws: &WorkloadSet,
+    ) -> Result<(), StoreError> {
+        let mut payload = Writer::new();
+        encode_workload_set(&mut payload, ws);
+        self.commit(
+            &self.workloads_path(network, scale, seed, &ws.policy),
+            Key {
+                kind: KIND_WORKLOADS,
+                network,
+                scale,
+                seed,
+                policy_fp: policy_fingerprint(&ws.policy),
+            },
+            payload.into_bytes(),
+        )
+    }
+
+    /// Loads a workload set; same `Ok(None)` / `Err(Corrupt)` contract as
+    /// [`ArtifactStore::load_prepared`].
+    pub fn load_workloads(
+        &self,
+        network: &str,
+        scale: usize,
+        seed: u64,
+        policy: &QuantPolicy,
+    ) -> Result<Option<WorkloadSet>, StoreError> {
+        let Some(payload) = self.read_verified(
+            &self.workloads_path(network, scale, seed, policy),
+            Key {
+                kind: KIND_WORKLOADS,
+                network,
+                scale,
+                seed,
+                policy_fp: policy_fingerprint(policy),
+            },
+        )?
+        else {
+            return Ok(None);
+        };
+        let mut r = Reader::new(&payload);
+        let ws = decode_workload_set(&mut r)?;
+        r.finish()?;
+        Ok(Some(ws))
+    }
+
+    /// Frames `payload` with the header and atomically commits it at
+    /// `path` via a same-directory temporary file + `rename`.
+    fn commit(&self, path: &Path, key: Key<'_>, payload: Vec<u8>) -> Result<(), StoreError> {
+        let mut w = Writer::new();
+        w.raw(MAGIC);
+        w.u32(FORMAT_VERSION);
+        w.u8(key.kind);
+        w.string(key.network);
+        w.u64(key.scale as u64);
+        w.u64(key.seed);
+        w.u64(key.policy_fp);
+        w.u64(self.code);
+        w.len(payload.len());
+        w.u64(fnv1a64(&payload));
+        w.raw(&payload);
+        let bytes = w.into_bytes();
+
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut f = fs::File::create(&tmp)?;
+        let written = f.write_all(&bytes).and_then(|()| f.sync_all());
+        drop(f);
+        if let Err(e) = written {
+            let _ = fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+        if let Err(e) = fs::rename(&tmp, path) {
+            let _ = fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    /// Reads `path`, verifies magic / format / kind / key / checksum, and
+    /// returns the payload. `Ok(None)` when the file does not exist.
+    fn read_verified(&self, path: &Path, key: Key<'_>) -> Result<Option<Vec<u8>>, StoreError> {
+        let bytes = match fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let mut r = Reader::new(&bytes);
+        if r.take(4)? != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let format = r.u32()?;
+        if format != FORMAT_VERSION {
+            return Err(corrupt(format!(
+                "format version {format}, expected {FORMAT_VERSION}"
+            )));
+        }
+        let kind = r.u8()?;
+        let network = r.string()?;
+        let scale = r.u64()?;
+        let seed = r.u64()?;
+        let policy_fp = r.u64()?;
+        let code = r.u64()?;
+        if kind != key.kind
+            || network != key.network
+            || scale != key.scale as u64
+            || seed != key.seed
+            || policy_fp != key.policy_fp
+        {
+            return Err(corrupt("artifact key does not match its filename"));
+        }
+        if code != self.code {
+            // Can only happen on a renamed/copied file; the filename
+            // normally embeds the code version.
+            return Err(corrupt("artifact written by a different code version"));
+        }
+        let payload_len = r.len(1)?;
+        let checksum = r.u64()?;
+        let payload = r.take(payload_len)?;
+        r.finish()?;
+        if fnv1a64(payload) != checksum {
+            return Err(corrupt("payload checksum mismatch"));
+        }
+        Ok(Some(payload.to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_dir;
+    use ola_nn::network::WeightStore;
+    use ola_sim::workload::{LayerKind, LayerWorkload, Shape4Ser};
+    use ola_tensor::Shape4;
+
+    fn sample_params() -> Params {
+        let mut p = Params::sized(2);
+        p.set_weights(
+            0,
+            WeightStore::Dense(Tensor::from_vec(
+                Shape4::new(1, 1, 2, 2),
+                vec![1.0, -1.0, 0.5, 0.0],
+            )),
+        );
+        p.set_bias(0, vec![0.25]);
+        p
+    }
+
+    fn sample_acts() -> Vec<Tensor> {
+        vec![
+            Tensor::from_vec(Shape4::new(1, 1, 1, 3), vec![0.0, -0.0, f32::NAN]),
+            Tensor::from_vec(Shape4::new(1, 2, 1, 1), vec![7.0, -8.0]),
+        ]
+    }
+
+    fn sample_workloads() -> WorkloadSet {
+        WorkloadSet {
+            network: "alexnet".into(),
+            policy: QuantPolicy::olaccel16("alexnet"),
+            layers: vec![LayerWorkload {
+                name: "conv1".into(),
+                index: 0,
+                kind: LayerKind::Conv,
+                in_shape: Shape4Ser {
+                    n: 1,
+                    c: 3,
+                    h: 8,
+                    w: 8,
+                },
+                out_shape: Shape4Ser {
+                    n: 1,
+                    c: 16,
+                    h: 4,
+                    w: 4,
+                },
+                kernel: 3,
+                macs: 12345,
+                weight_count: 432,
+                weight_bits: 4,
+                act_bits: 16,
+                weight_zero_fraction: 0.5,
+                act_zero_fraction: 0.25,
+                weight_outlier_ratio: 0.035,
+                act_outlier_nonzero_ratio: 0.05,
+                act_effective_outlier_ratio: 0.0375,
+                chunk_nnz: vec![3, 0, 16],
+                chunk_zero_quads: vec![1, 4, 0],
+                wchunk_single_fraction: 0.3,
+                wchunk_multi_fraction: 0.05,
+                out_zero_fraction: 0.6,
+            }],
+        }
+    }
+
+    #[test]
+    fn prepared_round_trip_and_missing() {
+        let dir = test_dir("store-prep");
+        let store = ArtifactStore::open(&dir).unwrap();
+        assert!(store.load_prepared("alexnet", 4, 9).unwrap().is_none());
+        let params = sample_params();
+        let acts = sample_acts();
+        store
+            .save_prepared("alexnet", 4, 9, &params, &acts)
+            .unwrap();
+        let (p2, a2) = store.load_prepared("alexnet", 4, 9).unwrap().unwrap();
+        assert_eq!(p2.len(), params.len());
+        assert_eq!(p2.bias(0).unwrap(), params.bias(0).unwrap());
+        assert_eq!(a2.len(), acts.len());
+        for (a, b) in acts.iter().zip(&a2) {
+            let av: Vec<u32> = a.as_slice().iter().map(|v| v.to_bits()).collect();
+            let bv: Vec<u32> = b.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(av, bv);
+        }
+        // A different key misses without touching the stored artifact.
+        assert!(store.load_prepared("alexnet", 4, 10).unwrap().is_none());
+        assert!(store.load_prepared("vgg16", 4, 9).unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn workloads_round_trip_bitwise() {
+        let dir = test_dir("store-ws");
+        let store = ArtifactStore::open(&dir).unwrap();
+        let ws = sample_workloads();
+        store.save_workloads("alexnet", 4, 9, &ws).unwrap();
+        let back = store
+            .load_workloads("alexnet", 4, 9, &ws.policy)
+            .unwrap()
+            .unwrap();
+        assert!(back.bitwise_eq(&ws));
+        // A different policy is a different artifact.
+        let other = QuantPolicy::olaccel8("alexnet");
+        assert!(store
+            .load_workloads("alexnet", 4, 9, &other)
+            .unwrap()
+            .is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_detected_not_panicked() {
+        let dir = test_dir("store-corrupt");
+        let store = ArtifactStore::open(&dir).unwrap();
+        let ws = sample_workloads();
+        store.save_workloads("alexnet", 4, 9, &ws).unwrap();
+        let path = store.workloads_path("alexnet", 4, 9, &ws.policy);
+
+        // Flip one payload byte: checksum must catch it.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            store.load_workloads("alexnet", 4, 9, &ws.policy),
+            Err(StoreError::Corrupt(_))
+        ));
+
+        // Truncate mid-header.
+        fs::write(&path, &bytes[..7]).unwrap();
+        assert!(matches!(
+            store.load_workloads("alexnet", 4, 9, &ws.policy),
+            Err(StoreError::Corrupt(_))
+        ));
+
+        // Garbage magic.
+        fs::write(&path, b"NOPE").unwrap();
+        assert!(matches!(
+            store.load_workloads("alexnet", 4, 9, &ws.policy),
+            Err(StoreError::Corrupt(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn renamed_artifact_fails_key_check() {
+        let dir = test_dir("store-rename");
+        let store = ArtifactStore::open(&dir).unwrap();
+        let ws = sample_workloads();
+        store.save_workloads("alexnet", 4, 9, &ws).unwrap();
+        let src = store.workloads_path("alexnet", 4, 9, &ws.policy);
+        let dst = store.workloads_path("alexnet", 8, 9, &ws.policy);
+        fs::rename(&src, &dst).unwrap();
+        assert!(matches!(
+            store.load_workloads("alexnet", 8, 9, &ws.policy),
+            Err(StoreError::Corrupt(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

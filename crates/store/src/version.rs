@@ -1,0 +1,86 @@
+//! The code-version fingerprint that content-addresses on-disk artifacts.
+//!
+//! A stored artifact is only valid while the code that would recompute it
+//! produces bit-identical results. Rather than asking humans to bump a
+//! version number whenever extraction semantics change, the store hashes
+//! the *source text* of every crate file an artifact's bytes depend on —
+//! tensor initialization and scans, synthetic parameter generation, the
+//! network zoo, workload extraction, quantizer calibration, the vendored
+//! RNG — at compile time. Any edit to those files changes the fingerprint,
+//! changes every artifact filename, and silently invalidates the old
+//! cache. (`include_str!` also registers each file with cargo's rebuild
+//! tracking, so the fingerprint can never go stale.)
+//!
+//! Conservative by design: a comment-only edit to a hashed file also
+//! invalidates the cache. That trades a few spurious recomputes for never
+//! serving stale bytes.
+
+use crate::wire::fnv1a64;
+
+/// Bump when the *container* format (header layout, wire encoding) changes
+/// incompatibly. Semantic changes to the artifact contents are covered by
+/// [`code_version`] instead.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Source files whose text determines artifact bytes. Paths are relative
+/// to `crates/store/src/`.
+const SOURCES: &[&str] = &[
+    // Tensor substrate: RNG-driven init, scans and chunking feed every
+    // synthesized parameter and every measured statistic.
+    include_str!("../../tensor/src/tensor.rs"),
+    include_str!("../../tensor/src/shape.rs"),
+    include_str!("../../tensor/src/init.rs"),
+    include_str!("../../tensor/src/chunk.rs"),
+    include_str!("../../tensor/src/scan.rs"),
+    include_str!("../../tensor/src/stats.rs"),
+    include_str!("../../tensor/src/par.rs"),
+    // Network substrate: graph construction, synthetic parameters, the
+    // forward pass that produces the cached activations.
+    include_str!("../../nn/src/layer.rs"),
+    include_str!("../../nn/src/network.rs"),
+    include_str!("../../nn/src/kernels.rs"),
+    include_str!("../../nn/src/synth.rs"),
+    include_str!("../../nn/src/zoo.rs"),
+    // Quantization: calibration and outlier selection shape the workload
+    // statistics.
+    include_str!("../../quant/src/calibrate.rs"),
+    include_str!("../../quant/src/outlier.rs"),
+    include_str!("../../quant/src/policy.rs"),
+    // Simulation: the extraction pass itself plus the policy definition.
+    include_str!("../../sim/src/workload.rs"),
+    include_str!("../../sim/src/policy.rs"),
+    // The RNG every synthetic value flows through.
+    include_str!("../../../vendored/rand/src/lib.rs"),
+    // The preparation pipeline that orchestrates all of the above (seed
+    // derivation, activation-sparsity shaping). Text-only include — no
+    // crate dependency cycle.
+    include_str!("../../harness/src/prep.rs"),
+];
+
+/// The process's code-version fingerprint: an FNV-1a fold over
+/// [`FORMAT_VERSION`] and the length-framed source text of every file in
+/// [`SOURCES`]. Identical across runs of the same build; different
+/// whenever any artifact-relevant source file changes.
+pub fn code_version() -> u64 {
+    // Fold file lengths in between texts so content can't slide across
+    // file boundaries ("ab" + "c" vs "a" + "bc").
+    let mut h = fnv1a64(&FORMAT_VERSION.to_le_bytes());
+    for src in SOURCES {
+        h ^= fnv1a64(&(src.len() as u64).to_le_bytes());
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h ^= fnv1a64(src.as_bytes());
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_version_is_stable_within_a_build() {
+        assert_eq!(code_version(), code_version());
+        assert_ne!(code_version(), 0);
+    }
+}

@@ -18,6 +18,7 @@
 //! assert_eq!(t.shape().c, 3);
 //! ```
 
+pub mod bytes;
 pub mod chunk;
 pub mod init;
 pub mod par;
