@@ -132,18 +132,49 @@ impl ZenaSim {
         }
     }
 
-    /// Simulates every layer of a workload set.
-    pub fn simulate(&self, ws: &WorkloadSet) -> NetworkRun {
-        let mem = MemoryConfig::for_network(&ws.network, self.config.mode);
-        NetworkRun {
-            accelerator: self.label(),
-            network: ws.network.clone(),
-            layers: ws
-                .layers
-                .iter()
-                .map(|l| self.simulate_layer(l, &mem))
-                .collect(),
+    /// [`ola_sim::SimCache`] key of one layer under this simulator: the
+    /// layer's content fingerprint folded with every configuration input
+    /// [`ZenaSim::simulate_layer`] reads.
+    fn sim_key(&self, l: &LayerWorkload, mem: &MemoryConfig) -> u64 {
+        let mut fp = ola_sim::memo::Fingerprint::new();
+        fp.str("zena")
+            .u32(self.config.mode.bits())
+            .usize(self.config.pe_count);
+        for b in self.tech.field_bits() {
+            fp.u64(b);
         }
+        fp.f64(self.tuning.imbalance)
+            .f64(self.tuning.meta_bits_per_op)
+            .u64(self.tuning.spad_bits)
+            .u64(mem.act_bits)
+            .u64(mem.weight_bits)
+            .u64(l.fingerprint());
+        fp.finish()
+    }
+
+    /// Simulates every layer of a workload set, layer-parallel under the
+    /// process-wide model worker budget and memoized in the global
+    /// [`ola_sim::SimCache`] (see `OlAccelSim::simulate` in `ola-core` for
+    /// the shared determinism argument).
+    pub fn simulate(&self, ws: &WorkloadSet) -> NetworkRun {
+        self.simulate_with_jobs(ws, ola_sim::simcache::model_jobs())
+    }
+
+    /// [`ZenaSim::simulate`] with an explicit worker-thread count
+    /// (`1` = inline on the calling thread).
+    pub fn simulate_with_jobs(&self, ws: &WorkloadSet, jobs: usize) -> NetworkRun {
+        ola_sim::timing::timed(ola_sim::timing::Phase::Model, || {
+            let mem = MemoryConfig::for_network(&ws.network, self.config.mode);
+            let cache = ola_sim::SimCache::global();
+            NetworkRun {
+                accelerator: self.label(),
+                network: ws.network.clone(),
+                layers: ola_sim::par::ordered_map(&ws.layers, jobs, |_, l| {
+                    (*cache.layer_run(self.sim_key(l, &mem), || self.simulate_layer(l, &mem)))
+                        .clone()
+                }),
+            }
+        })
     }
 
     /// DRAM traffic bits per inference.

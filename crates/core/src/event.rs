@@ -232,10 +232,55 @@ pub fn jobs_from_workload<'a>(
     }
 }
 
-/// Convenience: event-simulate a whole layer on a cluster and compare with
-/// the closed-form layer cost. Returns `(event_cycles, analytic_cycles)`.
+/// Fixed seed of the validation job stream. Folded into the cache key of
+/// [`cluster_record`] so the cached result stays a pure function of its
+/// fingerprinted inputs.
+const VALIDATE_SEED: u64 = 0xE7E27;
+
+/// Content fingerprint of a [`cluster_record`] run: everything that can
+/// change the event simulation's outcome — the layer workload, the group
+/// tuning feeding the job stream, the cluster configuration, and the
+/// stream's RNG seed.
+fn cluster_key(l: &LayerWorkload, tuning: &GroupTuning, cfg: &EventConfig) -> u64 {
+    let mut fp = ola_sim::memo::Fingerprint::new();
+    fp.str("event-cluster")
+        .u64(VALIDATE_SEED)
+        .usize(tuning.lanes)
+        .usize(tuning.skip_width)
+        .u8(tuning.outlier_mac as u8)
+        .usize(cfg.groups)
+        .u64(cfg.accum_pipeline_depth)
+        .u64(l.fingerprint());
+    fp.finish()
+}
+
+/// Event-simulates a layer's whole-cluster validation run through the
+/// process-wide [`ola_sim::SimCache`], so repeated validations of the same
+/// `(layer, tuning, config)` — across figures, jobs counts, or daemon
+/// requests — replay one cached [`ola_sim::EventRecord`] instead of
+/// re-streaming millions of unit jobs. [`simulate_cluster`] asserts the
+/// `run + skip + idle == cycles × groups` conservation law before the
+/// record is cached, so it holds on every hit too.
+pub fn cluster_record(
+    l: &LayerWorkload,
+    tuning: &GroupTuning,
+    cfg: &EventConfig,
+) -> ola_sim::EventRecord {
+    ola_sim::SimCache::global().event_record(cluster_key(l, tuning, cfg), || {
+        let r = simulate_cluster(jobs_from_workload(l, tuning, VALIDATE_SEED), 0, cfg);
+        ola_sim::EventRecord {
+            cycles: r.cycles,
+            utilization: r.utilization,
+            outlier_busy: r.outlier_busy,
+        }
+    })
+}
+
+/// Convenience: event-simulate a whole layer on a cluster (through the
+/// [`cluster_record`] cache) and compare with the closed-form layer cost.
+/// Returns `(event_cycles, analytic_cycles)`.
 pub fn validate_layer(l: &LayerWorkload, tuning: &GroupTuning, cfg: &EventConfig) -> (u64, u64) {
-    let result = simulate_cluster(jobs_from_workload(l, tuning, 0xE7E27), 0, cfg);
+    let result = cluster_record(l, tuning, cfg);
 
     let lc = crate::cost::layer_cost(l, tuning);
     let analytic = crate::dispatch::makespan_analytic(lc.total(), lc.max_chunk, cfg.groups)
@@ -457,6 +502,19 @@ mod tests {
         assert_eq!(a, b);
         let c: Vec<UnitJob> = jobs_from_workload(&l, &GroupTuning::default(), 43).collect();
         assert_ne!(a, c, "different seeds must change the multi-outlier draw");
+    }
+
+    #[test]
+    fn cluster_record_repeats_bit_identically_and_conserves() {
+        let l = synthetic_layer(64, 11, 0.12);
+        let cfg = EventConfig::default();
+        let a = cluster_record(&l, &GroupTuning::default(), &cfg);
+        let b = cluster_record(&l, &GroupTuning::default(), &cfg);
+        assert_eq!(a, b, "a cache hit must replay the exact record");
+        assert!(
+            a.utilization.is_conserved(a.cycles, cfg.groups as u64),
+            "conservation law must hold on cached records"
+        );
     }
 
     #[test]

@@ -207,27 +207,61 @@ impl OlAccelSim {
         }
     }
 
-    /// Simulates every layer of a workload set, layer-parallel across the
-    /// machine's cores.
+    /// [`ola_sim::SimCache`] key of one layer under this simulator: the
+    /// layer's content fingerprint folded with every configuration input
+    /// [`OlAccelSim::simulate_layer`] reads — accelerator kind, mode,
+    /// geometry, technology parameters, tuning, and the memory config.
+    fn sim_key(&self, l: &LayerWorkload, mem: &MemoryConfig) -> u64 {
+        let mut fp = ola_sim::memo::Fingerprint::new();
+        fp.str("olaccel")
+            .u32(self.config.mode.bits())
+            .usize(self.config.clusters)
+            .usize(self.config.pe_count);
+        for b in self.tech.field_bits() {
+            fp.u64(b);
+        }
+        fp.usize(self.tuning.group.lanes)
+            .usize(self.tuning.group.skip_width)
+            .u8(self.tuning.group.outlier_mac as u8)
+            .f64(self.tuning.dispatch_overhead)
+            .u64(self.tuning.accum_drain)
+            .u64(self.tuning.local_buffer_bits)
+            .u64(mem.act_bits)
+            .u64(mem.weight_bits)
+            .u64(l.fingerprint());
+        fp.finish()
+    }
+
+    /// Simulates every layer of a workload set, layer-parallel under the
+    /// process-wide model worker budget
+    /// ([`ola_sim::simcache::model_jobs`]).
     ///
     /// Layers are independent given a [`WorkloadSet`], so they fan out over
     /// [`ola_sim::par::ordered_map`]'s scoped worker threads; results come
     /// back in forward order and are byte-identical at any worker count.
+    /// Per-layer results are memoized in the global [`ola_sim::SimCache`],
+    /// so repeated simulations of the same layer under the same
+    /// configuration (across figures, jobs, or daemon requests) are served
+    /// from memory — or from the disk store on a warm `--cache-dir` run.
     pub fn simulate(&self, ws: &WorkloadSet) -> NetworkRun {
-        self.simulate_with_jobs(ws, ola_sim::par::default_jobs())
+        self.simulate_with_jobs(ws, ola_sim::simcache::model_jobs())
     }
 
     /// [`OlAccelSim::simulate`] with an explicit worker-thread count
     /// (`1` = inline on the calling thread).
     pub fn simulate_with_jobs(&self, ws: &WorkloadSet, jobs: usize) -> NetworkRun {
-        let mem = MemoryConfig::for_network(&ws.network, self.config.mode);
-        NetworkRun {
-            accelerator: self.label(),
-            network: ws.network.clone(),
-            layers: ola_sim::par::ordered_map(&ws.layers, jobs, |_, l| {
-                self.simulate_layer(l, &mem)
-            }),
-        }
+        ola_sim::timing::timed(ola_sim::timing::Phase::Model, || {
+            let mem = MemoryConfig::for_network(&ws.network, self.config.mode);
+            let cache = ola_sim::SimCache::global();
+            NetworkRun {
+                accelerator: self.label(),
+                network: ws.network.clone(),
+                layers: ola_sim::par::ordered_map(&ws.layers, jobs, |_, l| {
+                    (*cache.layer_run(self.sim_key(l, &mem), || self.simulate_layer(l, &mem)))
+                        .clone()
+                }),
+            }
+        })
     }
 
     /// Total DRAM traffic bits for one inference (Fig 15 bandwidth model).

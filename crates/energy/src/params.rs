@@ -60,6 +60,36 @@ pub struct TechParams {
     pub dram_bits_per_cycle: f64,
 }
 
+impl TechParams {
+    /// Every field's exact `f64` bit pattern, in declaration order — the
+    /// canonical identity of a parameter set for content-addressed caching
+    /// (two `TechParams` share the array iff they are bit-identical).
+    /// Update this list when fields are added or reordered; the length is
+    /// asserted against the struct in the unit tests.
+    pub fn field_bits(&self) -> [u64; 18] {
+        [
+            self.mult_area_per_bit2.to_bits(),
+            self.acc_area_per_bit.to_bits(),
+            self.pe_linear_area_per_bit.to_bits(),
+            self.pe_fixed_area.to_bits(),
+            self.zena_skip_area.to_bits(),
+            self.olaccel_mac_fixed_area.to_bits(),
+            self.olaccel_group_area.to_bits(),
+            self.olaccel_cluster_area_16.to_bits(),
+            self.olaccel_cluster_area_8.to_bits(),
+            self.mult_energy_per_bit2.to_bits(),
+            self.acc_energy_per_bit.to_bits(),
+            self.gated_mac_fraction.to_bits(),
+            self.control_energy_per_op.to_bits(),
+            self.sram_e0_per_bit.to_bits(),
+            self.sram_e1_per_bit.to_bits(),
+            self.sram_area_per_bit.to_bits(),
+            self.dram_energy_per_bit.to_bits(),
+            self.dram_bits_per_cycle.to_bits(),
+        ]
+    }
+}
+
 impl Default for TechParams {
     fn default() -> Self {
         TechParams {
@@ -97,6 +127,27 @@ impl Default for TechParams {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn field_bits_cover_every_field() {
+        // The array must track the struct exactly: same number of f64
+        // fields, and any single-field change must move exactly one entry.
+        assert_eq!(
+            std::mem::size_of::<TechParams>(),
+            18 * std::mem::size_of::<f64>(),
+            "TechParams gained or lost a field; update field_bits()"
+        );
+        let base = TechParams::default();
+        let mut t = base;
+        t.sram_e1_per_bit *= 2.0;
+        let diff = base
+            .field_bits()
+            .iter()
+            .zip(t.field_bits())
+            .filter(|(a, b)| **a != *b)
+            .count();
+        assert_eq!(diff, 1);
+    }
 
     #[test]
     fn defaults_are_positive() {

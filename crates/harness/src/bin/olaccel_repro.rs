@@ -31,12 +31,13 @@ EXPERIMENT  fig1 fig2 fig3 table1 fig11 fig12 fig13 fig14 fig15 fig16
             per-forward compute kernels; output is byte-identical at any N.
 --out DIR   additionally write each report to DIR/<experiment>.txt
 --cache-dir DIR
-            persistent artifact store: prepared networks and workload sets
-            are written there on first build and loaded (skipping
-            synthesize/forward/extract entirely) on later runs. Artifacts
-            are content-addressed by (network, scale, seed, policy, code
-            version), so a stale or corrupt store never changes results —
-            it only misses, with a stderr warning.
+            persistent artifact store: prepared networks, workload sets,
+            and per-layer simulation results are written there on first
+            build and loaded (skipping synthesize/forward/extract — and,
+            when warm, the model phase — entirely) on later runs.
+            Artifacts are content-addressed by their inputs plus a code /
+            model version fingerprint, so a stale or corrupt store never
+            changes results — it only misses, with a stderr warning.
 
 serve       run as a daemon on a Unix socket. Protocol: one request per
             line — `run <experiment> [--fast|--full] [--jobs N]`, `stats`,
@@ -64,7 +65,7 @@ fn main() {
         Ok(Command::Help) => println!("{USAGE}"),
         Ok(Command::Run { names, options }) => {
             if let Some(dir) = &options.cache_dir {
-                if let Err(e) = ola_harness::prep::PrepCache::global().set_disk(Some(dir)) {
+                if let Err(e) = ola_harness::prep::attach_disk_store(dir) {
                     usage_error(&format!("cannot open --cache-dir {}: {e}", dir.display()));
                 }
             }

@@ -17,6 +17,7 @@
 
 use crate::prep::{lock_unpoisoned, CacheStats, PrepCache};
 use crate::timing::{self, PhaseStats};
+use ola_sim::{SimCache, SimStats};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -45,6 +46,8 @@ pub struct SuiteResult {
     pub total_wall: Duration,
     /// Preparation-cache counters accumulated during the run.
     pub cache: CacheStats,
+    /// Simulation-cache counters accumulated during the run.
+    pub sim: SimStats,
     /// Per-phase wall time accumulated during the run (summed across
     /// workers, so comparable to [`SuiteResult::busy`], not `total_wall`).
     pub phases: PhaseStats,
@@ -82,6 +85,8 @@ impl SuiteResult {
         out.push_str(&self.phases.render(self.busy()));
         out.push('\n');
         out.push_str(&self.cache.render());
+        out.push('\n');
+        out.push_str(&self.sim.render());
         out.push('\n');
         out
     }
@@ -141,9 +146,11 @@ where
     let inner = (jobs / outer).max(1);
     ola_nn::kernels::set_forward_jobs(inner);
     ola_sim::workload::set_extract_jobs(inner);
+    ola_sim::simcache::set_model_jobs(inner);
     ola_tensor::par::set_fill_jobs(inner);
     let start = Instant::now();
     let stats_before = PrepCache::global().stats();
+    let sim_before = SimCache::global().stats();
     let phases_before = timing::snapshot();
     let cursor = AtomicUsize::new(0);
     let slots = Slots {
@@ -201,6 +208,7 @@ where
         jobs,
         total_wall: start.elapsed(),
         cache: stats_after.since(&stats_before),
+        sim: SimCache::global().stats().since(&sim_before),
         phases: timing::snapshot().since(&phases_before),
         outcomes,
     };
@@ -226,17 +234,10 @@ pub fn run_suite_collect(names: &[&str], fast: bool, jobs: usize) -> Vec<String>
 }
 
 /// Best-effort extraction of a caught panic's message (shared with the
-/// cache's exactly-once slots, which relay a failed build's message to
-/// every waiting requester).
-pub(crate) fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = e.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = e.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
+/// caches' exactly-once slots, which relay a failed build's message to
+/// every waiting requester; the implementation now lives in
+/// [`ola_sim::memo`] alongside that slot protocol).
+pub(crate) use ola_sim::memo::panic_message;
 
 #[cfg(test)]
 mod tests {
@@ -300,8 +301,11 @@ mod tests {
         assert!(s.contains("table1"));
         assert!(s.contains("fig17"));
         assert!(s.contains("phases: synthesize"));
-        assert!(s.contains("model+report"));
+        assert!(s.contains(", model "));
+        assert!(s.contains(", report "));
         assert!(s.contains("prepared networks"));
         assert!(s.contains("workload sets"));
+        assert!(s.contains("layer sims"));
+        assert!(s.contains("sim artifacts"));
     }
 }

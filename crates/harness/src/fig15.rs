@@ -30,8 +30,10 @@ pub fn run(fast: bool) -> String {
     let ola_dram = ola.dram_bits(&ws16);
     let zena_dram = zena.dram_bits(&ws16);
 
-    let mut rows = Vec::new();
-    for npus in NPUS {
+    // The NPU×batch grid rides on the two base simulations above (cached
+    // in the global `SimCache`); rows evaluate in parallel and assemble in
+    // axis order, so the table is byte-identical at any worker count.
+    let rows = ola_sim::par::ordered_map(&NPUS, ola_sim::simcache::model_jobs(), |_, &npus| {
         let mut row = vec![format!("{npus}")];
         for batch in BATCHES {
             row.push(num(speedup(
@@ -53,8 +55,8 @@ pub fn run(fast: bool) -> String {
                 &p,
             )));
         }
-        rows.push(row);
-    }
+        row
+    });
     let body = table(
         &[
             "NPUs", "OLA b1", "OLA b4", "OLA b16", "ZeNA b1", "ZeNA b4", "ZeNA b16",

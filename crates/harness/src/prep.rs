@@ -46,11 +46,9 @@ use ola_store::{ArtifactStore, StoreError};
 use ola_tensor::init::uniform_tensor;
 use ola_tensor::Tensor;
 use std::collections::HashMap;
-use std::hash::Hash;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The experiment suite's base preparation seed. Input tensors derive from
 /// `seed + scale` and parameter synthesis from a seed-dependent offset, so
@@ -182,14 +180,10 @@ pub(crate) fn zoo_config(scale: usize) -> ZooConfig {
     }
 }
 
-/// Locks a mutex, recovering the guard if another thread panicked while
-/// holding it. Every structure these locks protect is valid at all times
-/// (slot maps and counters are updated atomically under the lock), so a
-/// poisoned lock carries no integrity risk — propagating it would only
-/// replace the original panic's message with a generic `PoisonError`.
-pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
+/// The exactly-once slot machinery both cache levels are built on — moved
+/// to [`ola_sim::memo`] so the model-phase [`ola_sim::SimCache`] can share
+/// it; re-exported here for the harness's pre-existing callers.
+pub(crate) use ola_sim::memo::{fill_slot, lock_unpoisoned, Fill, Slot};
 
 /// Fetches (or builds, exactly once per process) the shared [`Prepared`]
 /// network for `(network, scale)` at the suite's [`DEFAULT_SEED`].
@@ -301,78 +295,16 @@ impl CacheStats {
     }
 }
 
-/// A per-key exactly-once slot. The `Result` (rather than the value
-/// directly) is what keeps a panicking build from poisoning the slot's
-/// inner `Once`: the init closure catches the panic and stores the
-/// message, so the `OnceLock` itself always completes cleanly.
-pub(crate) type Slot<T> = Arc<OnceLock<Result<Arc<T>, String>>>;
-
-/// What a cache fill actually did (a memory hit runs no fill at all).
-pub(crate) enum Fill {
-    /// Loaded from the disk store; no computation ran.
-    Disk,
-    /// Computed from scratch.
-    Built,
-}
-
-/// Removes `slot` from `map` iff it is still the slot registered under
-/// `key` — a failed build evicts itself so later requests retry, without
-/// ever discarding a *successful* replacement that raced in.
-fn evict_slot<K: Eq + Hash, T>(map: &Mutex<HashMap<K, Slot<T>>>, key: &K, slot: &Slot<T>) {
-    let mut m = lock_unpoisoned(map);
-    if m.get(key).is_some_and(|cur| Arc::ptr_eq(cur, slot)) {
-        m.remove(key);
-    }
-}
-
-/// The exactly-once fill protocol shared by both cache levels: find or
-/// insert the key's slot, run `build` in at most one caller, and report
-/// what happened (`None` = served from memory). A panicking build is
-/// re-raised with its original payload for the builder, re-raised by
-/// message for every waiter, and evicts its slot so the key stays
-/// retryable.
-pub(crate) fn fill_slot<K, T>(
-    map: &Mutex<HashMap<K, Slot<T>>>,
-    key: K,
-    build: impl FnOnce() -> (Arc<T>, Fill),
-) -> (Arc<T>, Option<Fill>)
-where
-    K: Eq + Hash + Clone,
-{
-    let slot = {
-        let mut m = lock_unpoisoned(map);
-        m.entry(key.clone()).or_default().clone()
-    };
-    let mut fill = None;
-    let mut payload: Option<Box<dyn std::any::Any + Send>> = None;
-    let result = slot
-        .get_or_init(|| match catch_unwind(AssertUnwindSafe(build)) {
-            Ok((v, f)) => {
-                fill = Some(f);
-                Ok(v)
-            }
-            Err(p) => {
-                let msg = crate::engine::panic_message(p.as_ref());
-                payload = Some(p);
-                Err(msg)
-            }
-        })
-        .clone();
-    if let Some(p) = payload {
-        // We were the builder and the build panicked: make the key
-        // retryable, then let the original panic continue unchanged.
-        evict_slot(map, &key, &slot);
-        resume_unwind(p);
-    }
-    match result {
-        Ok(v) => (v, fill),
-        Err(msg) => {
-            // A concurrent builder failed; surface its message (the evict
-            // is a no-op if the builder already did it).
-            evict_slot(map, &key, &slot);
-            panic!("{msg}");
-        }
-    }
+/// Attaches the persistent disk tier at `dir` to *both* process-wide
+/// caches: the [`PrepCache`] (prepared networks, workload sets) and the
+/// model-phase [`ola_sim::SimCache`] (per-layer simulation results). This
+/// is what `--cache-dir` wires up in the CLI and the daemon — one flag,
+/// one directory, every cache level persistent.
+pub fn attach_disk_store(dir: &Path) -> Result<(), StoreError> {
+    PrepCache::global().set_disk(Some(dir))?;
+    let store = Arc::new(ArtifactStore::open(dir)?);
+    ola_sim::SimCache::global().set_store(Some(store));
+    Ok(())
 }
 
 /// Process-wide memoization of [`Prepared`] networks and [`WorkloadSet`]s,

@@ -15,8 +15,11 @@ use ola_energy::{ComparisonMode, TechParams};
 use ola_sim::WorkloadSet;
 
 fn reduction_with(tech: &TechParams, ws: &WorkloadSet) -> f64 {
-    let zena = ZenaSim::new(*tech, ComparisonMode::Bits16).simulate(ws);
-    let ola = OlAccelSim::new(*tech, ComparisonMode::Bits16).simulate(ws);
+    // Sweep points already run in parallel (`run` fans the grid out), so
+    // keep the per-simulation layer loop serial — results are bit-identical
+    // either way, this only avoids oversubscribing the worker budget.
+    let zena = ZenaSim::new(*tech, ComparisonMode::Bits16).simulate_with_jobs(ws, 1);
+    let ola = OlAccelSim::new(*tech, ComparisonMode::Bits16).simulate_with_jobs(ws, 1);
     1.0 - ola.total_energy().total() / zena.total_energy().total()
 }
 
@@ -26,35 +29,44 @@ pub fn run(fast: bool) -> String {
     let (ws16, _) = prep.paper_workloads();
     let base = TechParams::default();
 
-    let mut rows = Vec::new();
+    // Materialize the sweep grid first, then evaluate every point in
+    // parallel — each point is two full-network simulations, which the
+    // `SimCache` memoizes per (tech, layer) so repeat runs replay from
+    // memory. Rows assemble in grid order: byte-identical at any jobs.
+    let mut cases: Vec<(String, String, TechParams)> = Vec::new();
     for factor in [0.25, 0.5, 1.0, 2.0, 4.0] {
         let mut t = base;
         t.dram_energy_per_bit = base.dram_energy_per_bit * factor;
-        rows.push(vec![
+        cases.push((
             format!("DRAM pJ/bit x{factor}"),
             num(t.dram_energy_per_bit),
-            pct(reduction_with(&t, &ws16)),
-        ]);
+            t,
+        ));
     }
     for factor in [0.25, 0.5, 1.0, 2.0, 4.0] {
         let mut t = base;
         t.sram_e1_per_bit = base.sram_e1_per_bit * factor;
-        rows.push(vec![
+        cases.push((
             format!("SRAM sqrt-coef x{factor}"),
             format!("{:.1e}", t.sram_e1_per_bit),
-            pct(reduction_with(&t, &ws16)),
-        ]);
+            t,
+        ));
     }
     for factor in [0.5, 1.0, 2.0] {
         let mut t = base;
         t.mult_energy_per_bit2 = base.mult_energy_per_bit2 * factor;
         t.acc_energy_per_bit = base.acc_energy_per_bit * factor;
-        rows.push(vec![
+        cases.push((
             format!("MAC energy x{factor}"),
             num(t.mult_energy_per_bit2 * 256.0),
-            pct(reduction_with(&t, &ws16)),
-        ]);
+            t,
+        ));
     }
+    let rows = ola_sim::par::ordered_map(
+        &cases,
+        ola_sim::simcache::model_jobs(),
+        |_, (knob, value, t)| vec![knob.clone(), value.clone(), pct(reduction_with(t, &ws16))],
+    );
     let body = table(&["knob", "value", "OLA16 vs ZeNA16 reduction"], &rows);
     format!(
         "=== Sensitivity: AlexNet energy reduction vs technology constants ===\n{body}\n\

@@ -114,8 +114,9 @@ pub fn serve(socket: &Path, options: &RunOptions) -> std::io::Result<ServeSummar
     SHUTDOWN.store(false, Ordering::SeqCst);
     install_signal_handlers();
     if let Some(dir) = &options.cache_dir {
-        PrepCache::global()
-            .set_disk(Some(dir))
+        // Both persistent tiers: prepared artifacts *and* per-layer sim
+        // records, so a warm daemon skips the model phase too.
+        crate::prep::attach_disk_store(dir)
             .map_err(|e| std::io::Error::other(format!("cannot open --cache-dir: {e}")))?;
     }
     if let Some(dir) = &options.out_dir {
@@ -237,7 +238,11 @@ fn respond(server: &Server, line: &str) -> Vec<u8> {
             b"ok shutting-down\n".to_vec()
         }
         Ok(Request::Stats) => {
-            let payload = format!("{}\n", PrepCache::global().stats().render());
+            let payload = format!(
+                "{}\n{}\n",
+                PrepCache::global().stats().render(),
+                ola_sim::SimCache::global().stats().render()
+            );
             let mut out = format!("ok stats bytes={}\n", payload.len()).into_bytes();
             out.extend_from_slice(payload.as_bytes());
             out
@@ -316,6 +321,7 @@ fn run_request(server: &Server, name: &str, fast: bool, jobs: Option<usize>) -> 
         // identical at any value.
         ola_nn::kernels::set_forward_jobs(jobs);
         ola_sim::workload::set_extract_jobs(jobs);
+        ola_sim::simcache::set_model_jobs(jobs);
         ola_tensor::par::set_fill_jobs(jobs);
     }
     let start = Instant::now();

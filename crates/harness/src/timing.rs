@@ -1,151 +1,8 @@
 //! Process-wide per-phase timing accumulators for the suite summary.
 //!
-//! The engine's stderr summary breaks a run down into the pipeline phases
-//! that dominate suite time — parameter synthesis, the f32 reference
-//! forward pass, workload extraction, and the accelerator models — so perf
-//! work can see where the time actually goes. Accumulation is a pair of
-//! relaxed atomic adds per timed region: cheap enough to leave on
-//! permanently, and the counters never feed back into any computed result
-//! (stdout stays byte-identical).
+//! The implementation moved to [`ola_sim::timing`] so the accelerator
+//! model crates (which sit below the harness) can record
+//! [`ola_sim::timing::Phase::Model`] themselves; this module re-exports it
+//! unchanged for the harness's pre-existing callers.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
-
-/// A timed pipeline phase.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Phase {
-    /// Network construction, parameter synthesis, and sparsity shaping.
-    Synthesize,
-    /// The f32 reference forward pass.
-    Forward,
-    /// Workload extraction (calibration + chunk statistics).
-    Extract,
-    /// SynthNet SGD training (the fig2/fig3 accuracy experiments).
-    Train,
-    /// Loading (and validating) artifacts from the on-disk store — the
-    /// warm-cache replacement for Synthesize/Forward/Extract.
-    Load,
-}
-
-static SYNTHESIZE_NS: AtomicU64 = AtomicU64::new(0);
-static FORWARD_NS: AtomicU64 = AtomicU64::new(0);
-static EXTRACT_NS: AtomicU64 = AtomicU64::new(0);
-static TRAIN_NS: AtomicU64 = AtomicU64::new(0);
-static LOAD_NS: AtomicU64 = AtomicU64::new(0);
-
-fn counter(phase: Phase) -> &'static AtomicU64 {
-    match phase {
-        Phase::Synthesize => &SYNTHESIZE_NS,
-        Phase::Forward => &FORWARD_NS,
-        Phase::Extract => &EXTRACT_NS,
-        Phase::Train => &TRAIN_NS,
-        Phase::Load => &LOAD_NS,
-    }
-}
-
-/// Adds `wall` to a phase's process-wide accumulator.
-pub fn record(phase: Phase, wall: Duration) {
-    counter(phase).fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
-}
-
-/// Times `f` and records its wall time under `phase`.
-pub fn timed<R>(phase: Phase, f: impl FnOnce() -> R) -> R {
-    let start = std::time::Instant::now();
-    let out = f();
-    record(phase, start.elapsed());
-    out
-}
-
-/// A snapshot of the accumulated per-phase wall time.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct PhaseStats {
-    /// Time spent building networks and synthesizing parameters.
-    pub synthesize: Duration,
-    /// Time spent in reference forward passes.
-    pub forward: Duration,
-    /// Time spent extracting workloads.
-    pub extract: Duration,
-    /// Time spent training SynthNet for the accuracy figures.
-    pub train: Duration,
-    /// Time spent loading artifacts from the on-disk store.
-    pub load: Duration,
-}
-
-impl PhaseStats {
-    /// The sum of the instrumented phases.
-    pub fn instrumented(&self) -> Duration {
-        self.synthesize + self.forward + self.extract + self.train + self.load
-    }
-
-    /// The phase-wise difference `self - before` (saturating), for
-    /// delta-over-a-run reporting.
-    pub fn since(&self, before: &PhaseStats) -> PhaseStats {
-        PhaseStats {
-            synthesize: self.synthesize.saturating_sub(before.synthesize),
-            forward: self.forward.saturating_sub(before.forward),
-            extract: self.extract.saturating_sub(before.extract),
-            train: self.train.saturating_sub(before.train),
-            load: self.load.saturating_sub(before.load),
-        }
-    }
-
-    /// Formats the summary line. `busy` is the suite's serial-equivalent
-    /// time; whatever the instrumented phases don't account for is the
-    /// accelerator models and report formatting.
-    pub fn render(&self, busy: Duration) -> String {
-        let model = busy.saturating_sub(self.instrumented());
-        format!(
-            "phases: synthesize {:.3}s, forward {:.3}s, extract {:.3}s, train {:.3}s, load {:.3}s, model+report {:.3}s",
-            self.synthesize.as_secs_f64(),
-            self.forward.as_secs_f64(),
-            self.extract.as_secs_f64(),
-            self.train.as_secs_f64(),
-            self.load.as_secs_f64(),
-            model.as_secs_f64(),
-        )
-    }
-}
-
-/// Snapshots the process-wide accumulators.
-pub fn snapshot() -> PhaseStats {
-    PhaseStats {
-        synthesize: Duration::from_nanos(SYNTHESIZE_NS.load(Ordering::Relaxed)),
-        forward: Duration::from_nanos(FORWARD_NS.load(Ordering::Relaxed)),
-        extract: Duration::from_nanos(EXTRACT_NS.load(Ordering::Relaxed)),
-        train: Duration::from_nanos(TRAIN_NS.load(Ordering::Relaxed)),
-        load: Duration::from_nanos(LOAD_NS.load(Ordering::Relaxed)),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn timed_regions_accumulate() {
-        let before = snapshot();
-        let v = timed(Phase::Extract, || {
-            std::thread::sleep(Duration::from_millis(5));
-            42
-        });
-        assert_eq!(v, 42);
-        let delta = snapshot().since(&before);
-        assert!(delta.extract >= Duration::from_millis(5));
-        let line = delta.render(Duration::from_secs(1));
-        assert!(line.contains("extract"));
-        assert!(line.contains("model+report"));
-    }
-
-    #[test]
-    fn since_saturates_rather_than_underflows() {
-        let a = PhaseStats {
-            synthesize: Duration::from_secs(1),
-            ..Default::default()
-        };
-        let b = PhaseStats {
-            synthesize: Duration::from_secs(2),
-            ..Default::default()
-        };
-        assert_eq!(a.since(&b).synthesize, Duration::ZERO);
-    }
-}
+pub use ola_sim::timing::*;

@@ -13,12 +13,16 @@
 //! cycles, an energy breakdown and a utilization decomposition, which the
 //! harness turns into the paper's figures.
 
+pub mod memo;
 pub mod par;
 pub mod policy;
 pub mod result;
+pub mod simcache;
+pub mod timing;
 pub mod traffic;
 pub mod workload;
 
 pub use policy::{FirstLayerPolicy, OutlierSelect, QuantPolicy};
 pub use result::{LayerRun, NetworkRun, Utilization};
+pub use simcache::{EventRecord, SimCache, SimResultStore, SimStats};
 pub use workload::{LayerKind, LayerWorkload, WorkloadSet};

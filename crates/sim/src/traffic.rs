@@ -14,12 +14,30 @@ use ola_quant::chunks::{OutlierActChunk, WeightChunk, CHUNK_WEIGHTS};
 /// activations are re-read from the activation buffer once per tile. This
 /// is the dominant source of on-chip "Buffer" energy for weight-heavy
 /// layers.
+///
+/// Two degenerate inputs are clamped rather than rejected, and both clamps
+/// are part of the function's contract:
+///
+/// * `weight_buffer_bits == 0` (a config with no weight buffer) is treated
+///   as a 1-bit buffer — the most conservative finite tiling, one tile per
+///   weight bit — instead of dividing by zero. No Table I memory config
+///   produces a zero-capacity buffer; the clamp exists so a hand-built
+///   config degrades to a pessimistic estimate rather than a panic.
+/// * `layer_weight_bits == 0` (a weightless or zero-size layer) still
+///   counts **one** tile, so the schedule reads the activations exactly
+///   once — a layer with nothing to stream does not get its activation
+///   traffic clamped to zero.
 pub fn weight_tiles(layer_weight_bits: u64, weight_buffer_bits: u64) -> u64 {
     layer_weight_bits.div_ceil(weight_buffer_bits.max(1)).max(1)
 }
 
 /// On-chip buffer traffic under the tiled schedule: weights once,
 /// activations once per weight tile, outputs once.
+///
+/// Inherits [`weight_tiles`]' documented edge-case clamps: a zero-size
+/// layer (`layer_weight_bits == 0`) still pays `act_bits + out_bits` (one
+/// activation read, one output write), and a zero-capacity weight buffer
+/// degrades to per-bit tiling rather than dividing by zero.
 pub fn buffer_traffic_bits(
     act_bits: u64,
     layer_weight_bits: u64,
@@ -139,6 +157,45 @@ mod tests {
         assert_eq!(weight_tiles(101, 50), 3);
         // acts re-read once per tile.
         assert_eq!(buffer_traffic_bits(10, 100, 5, 50), 100 + 20 + 5);
+    }
+
+    #[test]
+    fn zero_capacity_buffer_degrades_to_per_bit_tiling() {
+        // A zero-bit weight buffer is clamped to a 1-bit buffer: one tile
+        // per weight bit, never a divide-by-zero.
+        assert_eq!(weight_tiles(100, 0), 100);
+        assert_eq!(weight_tiles(1, 0), 1);
+        assert_eq!(buffer_traffic_bits(10, 3, 5, 0), 3 + 10 * 3 + 5);
+        // The clamp makes 0 and 1 capacities identical by construction.
+        assert_eq!(weight_tiles(100, 0), weight_tiles(100, 1));
+    }
+
+    #[test]
+    fn zero_size_layer_still_reads_acts_once() {
+        // A weightless layer counts one tile, so the tiled schedule reads
+        // the activations exactly once and writes the outputs once.
+        assert_eq!(weight_tiles(0, 50), 1);
+        assert_eq!(weight_tiles(0, 0), 1);
+        // One activation read + one output write, zero weight traffic.
+        assert_eq!(buffer_traffic_bits(10, 0, 5, 50), 10 + 5);
+        // Fully degenerate: no weights, no acts, no outs — no traffic.
+        assert_eq!(buffer_traffic_bits(0, 0, 0, 0), 0);
+    }
+
+    #[test]
+    fn tiles_monotone_in_layer_size_and_antitone_in_buffer() {
+        for buf in [1u64, 7, 50, 1 << 20] {
+            let mut prev = 0;
+            for bits in [0u64, 1, 49, 50, 51, 100, 1000] {
+                let t = weight_tiles(bits, buf);
+                assert!(t >= 1);
+                assert!(t >= prev, "tiles must not shrink as the layer grows");
+                prev = t;
+            }
+        }
+        for bits in [1u64, 100, 1000] {
+            assert!(weight_tiles(bits, 10) >= weight_tiles(bits, 100));
+        }
     }
 
     #[test]

@@ -187,6 +187,38 @@ impl LayerWorkload {
         self.index == 0
     }
 
+    /// Content fingerprint over every field, floats by exact bit pattern —
+    /// the per-layer half of a [`crate::simcache::SimCache`] key. Two
+    /// workloads share a fingerprint iff they are [`bitwise_eq`]
+    /// (`LayerWorkload::bitwise_eq`) up to FNV collisions, so a memoized
+    /// simulation result can never be served for a bit-different layer.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = crate::memo::Fingerprint::new();
+        fp.str(&self.name).usize(self.index).u8(match self.kind {
+            LayerKind::Conv => 0,
+            LayerKind::Fc => 1,
+        });
+        for s in [&self.in_shape, &self.out_shape] {
+            fp.usize(s.n).usize(s.c).usize(s.h).usize(s.w);
+        }
+        fp.usize(self.kernel)
+            .u64(self.macs)
+            .u64(self.weight_count)
+            .u32(self.weight_bits)
+            .u32(self.act_bits)
+            .f64(self.weight_zero_fraction)
+            .f64(self.act_zero_fraction)
+            .f64(self.weight_outlier_ratio)
+            .f64(self.act_outlier_nonzero_ratio)
+            .f64(self.act_effective_outlier_ratio)
+            .bytes(&self.chunk_nnz)
+            .bytes(&self.chunk_zero_quads)
+            .f64(self.wchunk_single_fraction)
+            .f64(self.wchunk_multi_fraction)
+            .f64(self.out_zero_fraction);
+        fp.finish()
+    }
+
     /// Field-by-field equality with floats compared by bit pattern — the
     /// determinism contract parallel extraction is held to.
     pub fn bitwise_eq(&self, other: &Self) -> bool {
@@ -1355,6 +1387,29 @@ mod tests {
             "single {} vs binomial {expect_single}",
             l.wchunk_single_fraction
         );
+    }
+
+    #[test]
+    fn fingerprint_tracks_bitwise_identity() {
+        let ws = alexnet_workloads();
+        for l in &ws.layers {
+            assert_eq!(l.fingerprint(), l.clone().fingerprint());
+        }
+        // Any single-field change must move the fingerprint.
+        let base = &ws.layers[1];
+        let mut m = base.clone();
+        m.macs += 1;
+        assert_ne!(m.fingerprint(), base.fingerprint());
+        let mut m = base.clone();
+        m.act_zero_fraction = -m.act_zero_fraction;
+        assert_ne!(m.fingerprint(), base.fingerprint());
+        let mut m = base.clone();
+        if let Some(v) = m.chunk_nnz.first_mut() {
+            *v ^= 1;
+        }
+        assert_ne!(m.fingerprint(), base.fingerprint());
+        // Distinct layers of one network are distinct keys.
+        assert_ne!(ws.layers[0].fingerprint(), ws.layers[1].fingerprint());
     }
 
     #[test]

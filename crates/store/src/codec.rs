@@ -9,13 +9,13 @@
 //! [`StoreError::Corrupt`].
 
 use crate::wire::{corrupt, Reader, StoreError, Writer};
-use ola_energy::ComparisonMode;
+use ola_energy::{ComparisonMode, EnergyBreakdown};
 use ola_nn::network::WeightStore;
 use ola_nn::synth::SyntheticMatrix;
 use ola_nn::Params;
 use ola_sim::policy::FirstLayerPolicy;
 use ola_sim::workload::{LayerKind, LayerWorkload, Shape4Ser, WorkloadSet};
-use ola_sim::{OutlierSelect, QuantPolicy};
+use ola_sim::{EventRecord, LayerRun, OutlierSelect, QuantPolicy, Utilization};
 use ola_tensor::init::HeavyTailed;
 use ola_tensor::{Shape4, Tensor};
 
@@ -371,6 +371,88 @@ pub fn decode_workload_set(r: &mut Reader<'_>) -> Result<WorkloadSet, StoreError
     })
 }
 
+// --- simulation results ---
+
+/// Upper bound on a persisted chunk-cycle histogram's length — the model
+/// builds histograms indexed by cycles-per-chunk, which chunk statistics
+/// bound far below this; a corrupt length fails here instead of allocating.
+const MAX_HIST: usize = 1 << 20;
+
+fn encode_utilization(w: &mut Writer, u: &Utilization) {
+    w.u64(u.run_cycles);
+    w.u64(u.skip_cycles);
+    w.u64(u.idle_cycles);
+}
+
+fn decode_utilization(r: &mut Reader<'_>) -> Result<Utilization, StoreError> {
+    Ok(Utilization {
+        run_cycles: r.u64()?,
+        skip_cycles: r.u64()?,
+        idle_cycles: r.u64()?,
+    })
+}
+
+/// Encodes a per-layer simulation result (the `SimCache` disk tier's
+/// payload): floats by exact bit pattern, so a warm run's report is
+/// byte-identical to the cold run that wrote the record.
+pub fn encode_layer_run(w: &mut Writer, run: &LayerRun) {
+    w.string(&run.name);
+    w.u64(run.cycles);
+    w.f64(run.energy.dram);
+    w.f64(run.energy.buffer);
+    w.f64(run.energy.local);
+    w.f64(run.energy.logic);
+    encode_utilization(w, &run.utilization);
+    w.len(run.chunk_cycle_hist.len());
+    for &c in &run.chunk_cycle_hist {
+        w.u64(c);
+    }
+}
+
+/// Decodes a layer result written by [`encode_layer_run`].
+pub fn decode_layer_run(r: &mut Reader<'_>) -> Result<LayerRun, StoreError> {
+    let name = r.string()?;
+    let cycles = r.u64()?;
+    let energy = EnergyBreakdown {
+        dram: r.f64()?,
+        buffer: r.f64()?,
+        local: r.f64()?,
+        logic: r.f64()?,
+    };
+    let utilization = decode_utilization(r)?;
+    let n = r.len(8)?;
+    if n > MAX_HIST {
+        return Err(corrupt(format!("implausible histogram length {n}")));
+    }
+    let mut chunk_cycle_hist = Vec::with_capacity(n);
+    for _ in 0..n {
+        chunk_cycle_hist.push(r.u64()?);
+    }
+    Ok(LayerRun {
+        name,
+        cycles,
+        energy,
+        utilization,
+        chunk_cycle_hist,
+    })
+}
+
+/// Encodes an event-backend result record.
+pub fn encode_event_record(w: &mut Writer, rec: &EventRecord) {
+    w.u64(rec.cycles);
+    encode_utilization(w, &rec.utilization);
+    w.u64(rec.outlier_busy);
+}
+
+/// Decodes an event record written by [`encode_event_record`].
+pub fn decode_event_record(r: &mut Reader<'_>) -> Result<EventRecord, StoreError> {
+    Ok(EventRecord {
+        cycles: r.u64()?,
+        utilization: decode_utilization(r)?,
+        outlier_busy: r.u64()?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -486,6 +568,60 @@ mod tests {
             policy_fingerprint(&c),
             "selection rule must change the fingerprint"
         );
+    }
+
+    #[test]
+    fn layer_run_codec_round_trips_bits() {
+        let run = LayerRun {
+            name: "conv2".into(),
+            cycles: 987_654,
+            energy: EnergyBreakdown {
+                dram: 1.5,
+                buffer: -0.0,
+                local: f64::NAN,
+                logic: 3.25e-7,
+            },
+            utilization: Utilization {
+                run_cycles: 10,
+                skip_cycles: 20,
+                idle_cycles: 30,
+            },
+            chunk_cycle_hist: vec![0, 7, 0, 3],
+        };
+        let mut w = Writer::new();
+        encode_layer_run(&mut w, &run);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        let back = decode_layer_run(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.name, run.name);
+        assert_eq!(back.cycles, run.cycles);
+        assert_eq!(back.energy.dram.to_bits(), run.energy.dram.to_bits());
+        assert_eq!(back.energy.buffer.to_bits(), run.energy.buffer.to_bits());
+        assert_eq!(back.energy.local.to_bits(), run.energy.local.to_bits());
+        assert_eq!(back.energy.logic.to_bits(), run.energy.logic.to_bits());
+        assert_eq!(back.utilization, run.utilization);
+        assert_eq!(back.chunk_cycle_hist, run.chunk_cycle_hist);
+    }
+
+    #[test]
+    fn event_record_codec_round_trips() {
+        let rec = EventRecord {
+            cycles: 42,
+            utilization: Utilization {
+                run_cycles: 30,
+                skip_cycles: 5,
+                idle_cycles: 7,
+            },
+            outlier_busy: 11,
+        };
+        let mut w = Writer::new();
+        encode_event_record(&mut w, &rec);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        let back = decode_event_record(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, rec);
     }
 
     #[test]

@@ -6,12 +6,17 @@
 //! ```text
 //! magic        4 bytes  "OLAS"
 //! format       u32      FORMAT_VERSION
-//! kind         u8       1 = prepared network, 2 = workload set
-//! network      string   length-prefixed UTF-8
-//! scale        u64      spatial scale divisor
-//! seed         u64      preparation seed
-//! policy_fp    u64      policy fingerprint (0 for prepared networks)
-//! code         u64      code-version fingerprint at write time
+//! kind         u8       1 = prepared network, 2 = workload set,
+//!                       3 = analytic sim record, 4 = event sim record
+//! network      string   length-prefixed UTF-8 ("" for sim records)
+//! scale        u64      spatial scale divisor (0 for sim records)
+//! seed         u64      preparation seed; for sim records, the SimCache
+//!                       content fingerprint
+//! policy_fp    u64      policy fingerprint (0 for prepared networks and
+//!                       sim records)
+//! code         u64      version fingerprint at write time (code_version
+//!                       for preparation artifacts, model_version for sim
+//!                       records)
 //! payload_len  u64
 //! checksum     u64      FNV-1a over the payload bytes
 //! payload      payload_len bytes
@@ -25,14 +30,15 @@
 //! no artifact — never a torn one.
 
 use crate::codec::{
-    decode_params, decode_tensor, decode_workload_set, encode_params, encode_tensor,
-    encode_workload_set, policy_fingerprint,
+    decode_event_record, decode_layer_run, decode_params, decode_tensor, decode_workload_set,
+    encode_event_record, encode_layer_run, encode_params, encode_tensor, encode_workload_set,
+    policy_fingerprint,
 };
-use crate::version::{code_version, FORMAT_VERSION};
+use crate::version::{code_version, model_version, FORMAT_VERSION};
 use crate::wire::{corrupt, fnv1a64, Reader, StoreError, Writer};
 use ola_nn::Params;
 use ola_sim::workload::WorkloadSet;
-use ola_sim::QuantPolicy;
+use ola_sim::{EventRecord, LayerRun, QuantPolicy, SimResultStore};
 use ola_tensor::Tensor;
 use std::fs;
 use std::io::Write as _;
@@ -42,6 +48,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 const MAGIC: &[u8; 4] = b"OLAS";
 const KIND_PREPARED: u8 = 1;
 const KIND_WORKLOADS: u8 = 2;
+const KIND_SIM_RUN: u8 = 3;
+const KIND_SIM_EVENT: u8 = 4;
 
 /// Distinguishes concurrent writers' temporary files within one process.
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -51,9 +59,16 @@ static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 pub struct ArtifactStore {
     dir: PathBuf,
     code: u64,
+    model: u64,
 }
 
-/// The identifying key of one artifact.
+/// The identifying key of one artifact. `code` is the version fingerprint
+/// the record must have been written under — [`crate::version::code_version`]
+/// for preparation artifacts, [`crate::version::model_version`] for
+/// simulation records (so a model edit invalidates sim records without
+/// discarding still-valid prepared networks, and vice versa). For sim
+/// records, `seed` carries the content fingerprint computed by the
+/// `SimCache` caller and the remaining fields are inert.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Key<'a> {
     kind: u8,
@@ -61,6 +76,7 @@ struct Key<'a> {
     scale: usize,
     seed: u64,
     policy_fp: u64,
+    code: u64,
 }
 
 impl ArtifactStore {
@@ -70,6 +86,7 @@ impl ArtifactStore {
         Ok(ArtifactStore {
             dir: dir.to_path_buf(),
             code: code_version(),
+            model: model_version(),
         })
     }
 
@@ -124,6 +141,7 @@ impl ArtifactStore {
                 scale,
                 seed,
                 policy_fp: 0,
+                code: self.code,
             },
             payload.into_bytes(),
         )
@@ -148,6 +166,7 @@ impl ArtifactStore {
                 scale,
                 seed,
                 policy_fp: 0,
+                code: self.code,
             },
         )?
         else {
@@ -182,6 +201,7 @@ impl ArtifactStore {
                 scale,
                 seed,
                 policy_fp: policy_fingerprint(&ws.policy),
+                code: self.code,
             },
             payload.into_bytes(),
         )
@@ -204,6 +224,7 @@ impl ArtifactStore {
                 scale,
                 seed,
                 policy_fp: policy_fingerprint(policy),
+                code: self.code,
             },
         )?
         else {
@@ -213,6 +234,88 @@ impl ArtifactStore {
         let ws = decode_workload_set(&mut r)?;
         r.finish()?;
         Ok(Some(ws))
+    }
+
+    /// Path of a per-layer analytic simulation record for this model
+    /// version. `key` is the `SimCache` content fingerprint.
+    pub fn sim_run_path(&self, key: u64) -> PathBuf {
+        self.dir
+            .join(format!("simrun-{key:016x}-v{:016x}.olas", self.model))
+    }
+
+    /// Path of an event-backend simulation record for this model version.
+    pub fn sim_event_path(&self, key: u64) -> PathBuf {
+        self.dir
+            .join(format!("simev-{key:016x}-v{:016x}.olas", self.model))
+    }
+
+    /// The header key of a sim record: the content fingerprint rides in
+    /// the `seed` slot, the version check uses the model fingerprint.
+    fn sim_header_key(&self, kind: u8, key: u64) -> Key<'static> {
+        Key {
+            kind,
+            network: "",
+            scale: 0,
+            seed: key,
+            policy_fp: 0,
+            code: self.model,
+        }
+    }
+
+    /// Persists a per-layer analytic simulation result under its content
+    /// fingerprint.
+    pub fn save_sim_run(&self, key: u64, run: &LayerRun) -> Result<(), StoreError> {
+        let mut payload = Writer::new();
+        encode_layer_run(&mut payload, run);
+        self.commit(
+            &self.sim_run_path(key),
+            self.sim_header_key(KIND_SIM_RUN, key),
+            payload.into_bytes(),
+        )
+    }
+
+    /// Loads a per-layer analytic simulation result; same `Ok(None)` /
+    /// `Err(Corrupt)` contract as [`ArtifactStore::load_prepared`].
+    pub fn load_sim_run(&self, key: u64) -> Result<Option<LayerRun>, StoreError> {
+        let Some(payload) = self.read_verified(
+            &self.sim_run_path(key),
+            self.sim_header_key(KIND_SIM_RUN, key),
+        )?
+        else {
+            return Ok(None);
+        };
+        let mut r = Reader::new(&payload);
+        let run = decode_layer_run(&mut r)?;
+        r.finish()?;
+        Ok(Some(run))
+    }
+
+    /// Persists an event-backend simulation result under its content
+    /// fingerprint.
+    pub fn save_sim_event(&self, key: u64, rec: &EventRecord) -> Result<(), StoreError> {
+        let mut payload = Writer::new();
+        encode_event_record(&mut payload, rec);
+        self.commit(
+            &self.sim_event_path(key),
+            self.sim_header_key(KIND_SIM_EVENT, key),
+            payload.into_bytes(),
+        )
+    }
+
+    /// Loads an event-backend simulation result; same `Ok(None)` /
+    /// `Err(Corrupt)` contract as [`ArtifactStore::load_prepared`].
+    pub fn load_sim_event(&self, key: u64) -> Result<Option<EventRecord>, StoreError> {
+        let Some(payload) = self.read_verified(
+            &self.sim_event_path(key),
+            self.sim_header_key(KIND_SIM_EVENT, key),
+        )?
+        else {
+            return Ok(None);
+        };
+        let mut r = Reader::new(&payload);
+        let rec = decode_event_record(&mut r)?;
+        r.finish()?;
+        Ok(Some(rec))
     }
 
     /// Frames `payload` with the header and atomically commits it at
@@ -226,7 +329,7 @@ impl ArtifactStore {
         w.u64(key.scale as u64);
         w.u64(key.seed);
         w.u64(key.policy_fp);
-        w.u64(self.code);
+        w.u64(key.code);
         w.len(payload.len());
         w.u64(fnv1a64(&payload));
         w.raw(&payload);
@@ -283,7 +386,7 @@ impl ArtifactStore {
         {
             return Err(corrupt("artifact key does not match its filename"));
         }
-        if code != self.code {
+        if code != key.code {
             // Can only happen on a renamed/copied file; the filename
             // normally embeds the code version.
             return Err(corrupt("artifact written by a different code version"));
@@ -296,6 +399,43 @@ impl ArtifactStore {
             return Err(corrupt("payload checksum mismatch"));
         }
         Ok(Some(payload.to_vec()))
+    }
+}
+
+/// The `SimCache` persistent tier: the trait's error-swallowing contract
+/// (a broken store degrades to a cold cache, never a failed run) maps the
+/// `Result`-returning methods above onto warn-on-stderr.
+impl SimResultStore for ArtifactStore {
+    fn load_layer_run(&self, key: u64) -> Option<LayerRun> {
+        match self.load_sim_run(key) {
+            Ok(found) => found,
+            Err(e) => {
+                eprintln!("warning: sim record {key:016x} unreadable ({e}); re-simulating");
+                None
+            }
+        }
+    }
+
+    fn save_layer_run(&self, key: u64, run: &LayerRun) {
+        if let Err(e) = self.save_sim_run(key, run) {
+            eprintln!("warning: failed to persist sim record {key:016x}: {e}");
+        }
+    }
+
+    fn load_event_record(&self, key: u64) -> Option<EventRecord> {
+        match self.load_sim_event(key) {
+            Ok(found) => found,
+            Err(e) => {
+                eprintln!("warning: event record {key:016x} unreadable ({e}); re-simulating");
+                None
+            }
+        }
+    }
+
+    fn save_event_record(&self, key: u64, record: &EventRecord) {
+        if let Err(e) = self.save_sim_event(key, record) {
+            eprintln!("warning: failed to persist event record {key:016x}: {e}");
+        }
     }
 }
 
@@ -408,6 +548,70 @@ mod tests {
             .load_workloads("alexnet", 4, 9, &other)
             .unwrap()
             .is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sim_records_round_trip_through_the_trait() {
+        use ola_energy::EnergyBreakdown;
+        use ola_sim::Utilization;
+
+        let dir = test_dir("store-sim");
+        let store = ArtifactStore::open(&dir).unwrap();
+        let tier: &dyn SimResultStore = &store;
+
+        assert!(tier.load_layer_run(0xABCD).is_none());
+        let run = LayerRun {
+            name: "conv3".into(),
+            cycles: 4242,
+            energy: EnergyBreakdown {
+                dram: 1.0,
+                buffer: 2.0,
+                local: 3.0,
+                logic: 4.0,
+            },
+            utilization: Utilization {
+                run_cycles: 4000,
+                skip_cycles: 100,
+                idle_cycles: 142,
+            },
+            chunk_cycle_hist: vec![1, 0, 9],
+        };
+        tier.save_layer_run(0xABCD, &run);
+        let back = tier.load_layer_run(0xABCD).unwrap();
+        assert_eq!(back.cycles, run.cycles);
+        assert_eq!(back.energy.dram.to_bits(), run.energy.dram.to_bits());
+        assert_eq!(back.utilization, run.utilization);
+        assert_eq!(back.chunk_cycle_hist, run.chunk_cycle_hist);
+        // A different fingerprint misses; same fingerprint under the other
+        // record kind is a separate namespace.
+        assert!(tier.load_layer_run(0xABCE).is_none());
+        assert!(tier.load_event_record(0xABCD).is_none());
+
+        let rec = EventRecord {
+            cycles: 17,
+            utilization: Utilization {
+                run_cycles: 10,
+                skip_cycles: 2,
+                idle_cycles: 90,
+            },
+            outlier_busy: 5,
+        };
+        tier.save_event_record(0xABCD, &rec);
+        assert_eq!(tier.load_event_record(0xABCD).unwrap(), rec);
+
+        // Corruption degrades to a miss through the trait (warn + None),
+        // not an error.
+        let path = store.sim_run_path(0xABCD);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            store.load_sim_run(0xABCD),
+            Err(StoreError::Corrupt(_))
+        ));
+        assert!(tier.load_layer_run(0xABCD).is_none());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -57,21 +57,67 @@ const SOURCES: &[&str] = &[
     include_str!("../../harness/src/prep.rs"),
 ];
 
-/// The process's code-version fingerprint: an FNV-1a fold over
-/// [`FORMAT_VERSION`] and the length-framed source text of every file in
-/// [`SOURCES`]. Identical across runs of the same build; different
-/// whenever any artifact-relevant source file changes.
-pub fn code_version() -> u64 {
-    // Fold file lengths in between texts so content can't slide across
-    // file boundaries ("ab" + "c" vs "a" + "bc").
+/// Source files whose text determines *simulation result* bytes — the
+/// accelerator cycle/energy models and everything they read. Kept separate
+/// from [`SOURCES`] so an edit to, say, workload extraction invalidates
+/// prepared artifacts without also discarding still-valid sim records (and
+/// vice versa). Like [`SOURCES`], text-only includes — `ola-store` has no
+/// crate dependency on `ola-core`/`ola-baselines`.
+const MODEL_SOURCES: &[&str] = &[
+    // OLAccel's analytic model and the event-driven validation backend.
+    include_str!("../../core/src/model.rs"),
+    include_str!("../../core/src/cost.rs"),
+    include_str!("../../core/src/dispatch.rs"),
+    include_str!("../../core/src/event.rs"),
+    // Baseline accelerator models.
+    include_str!("../../baselines/src/eyeriss.rs"),
+    include_str!("../../baselines/src/zena.rs"),
+    // The energy/area model every accelerator prices its cycles with.
+    include_str!("../../energy/src/account.rs"),
+    include_str!("../../energy/src/config.rs"),
+    include_str!("../../energy/src/dram.rs"),
+    include_str!("../../energy/src/mac.rs"),
+    include_str!("../../energy/src/params.rs"),
+    include_str!("../../energy/src/sram.rs"),
+    // Sim-level inputs: workload statistics (and their fingerprint),
+    // traffic model, result records, the cache keying machinery itself.
+    include_str!("../../sim/src/workload.rs"),
+    include_str!("../../sim/src/traffic.rs"),
+    include_str!("../../sim/src/result.rs"),
+    include_str!("../../sim/src/simcache.rs"),
+    include_str!("../../sim/src/memo.rs"),
+    // The RNG behind the event backend's multi-outlier draws.
+    include_str!("../../../vendored/rand/src/lib.rs"),
+];
+
+/// Length-framed FNV-1a fold over [`FORMAT_VERSION`] and `sources` — file
+/// lengths are folded in between texts so content can't slide across file
+/// boundaries ("ab" + "c" vs "a" + "bc").
+fn sources_version(sources: &[&str]) -> u64 {
     let mut h = fnv1a64(&FORMAT_VERSION.to_le_bytes());
-    for src in SOURCES {
+    for src in sources {
         h ^= fnv1a64(&(src.len() as u64).to_le_bytes());
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
         h ^= fnv1a64(src.as_bytes());
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// The process's code-version fingerprint: an FNV-1a fold over
+/// [`FORMAT_VERSION`] and the length-framed source text of every file in
+/// [`SOURCES`]. Identical across runs of the same build; different
+/// whenever any artifact-relevant source file changes.
+pub fn code_version() -> u64 {
+    sources_version(SOURCES)
+}
+
+/// The process's model-version fingerprint: same construction as
+/// [`code_version`] but over [`MODEL_SOURCES`]. Content-addresses per-layer
+/// simulation records (the `SimCache` disk tier) to the accelerator-model
+/// code that produced them.
+pub fn model_version() -> u64 {
+    sources_version(MODEL_SOURCES)
 }
 
 #[cfg(test)]
@@ -82,5 +128,14 @@ mod tests {
     fn code_version_is_stable_within_a_build() {
         assert_eq!(code_version(), code_version());
         assert_ne!(code_version(), 0);
+    }
+
+    #[test]
+    fn model_version_is_stable_and_independent() {
+        assert_eq!(model_version(), model_version());
+        assert_ne!(model_version(), 0);
+        // Different source sets must not collide (which would defeat the
+        // point of invalidating them independently).
+        assert_ne!(model_version(), code_version());
     }
 }
