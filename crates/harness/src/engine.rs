@@ -17,6 +17,7 @@
 
 use crate::prep::{lock_unpoisoned, CacheStats, PrepCache};
 use crate::timing::{self, PhaseStats};
+use ola_quant::{EvalCache, EvalStats};
 use ola_sim::{SimCache, SimStats};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -48,6 +49,8 @@ pub struct SuiteResult {
     pub cache: CacheStats,
     /// Simulation-cache counters accumulated during the run.
     pub sim: SimStats,
+    /// Accuracy-eval cache counters accumulated during the run.
+    pub eval: EvalStats,
     /// Per-phase wall time accumulated during the run (summed across
     /// workers, so comparable to [`SuiteResult::busy`], not `total_wall`).
     pub phases: PhaseStats,
@@ -87,6 +90,8 @@ impl SuiteResult {
         out.push_str(&self.cache.render());
         out.push('\n');
         out.push_str(&self.sim.render());
+        out.push('\n');
+        out.push_str(&self.eval.render());
         out.push('\n');
         out
     }
@@ -147,10 +152,12 @@ where
     ola_nn::kernels::set_forward_jobs(inner);
     ola_sim::workload::set_extract_jobs(inner);
     ola_sim::simcache::set_model_jobs(inner);
+    ola_quant::evalcache::set_eval_jobs(inner);
     ola_tensor::par::set_fill_jobs(inner);
     let start = Instant::now();
     let stats_before = PrepCache::global().stats();
     let sim_before = SimCache::global().stats();
+    let eval_before = EvalCache::global().stats();
     let phases_before = timing::snapshot();
     let cursor = AtomicUsize::new(0);
     let slots = Slots {
@@ -209,6 +216,7 @@ where
         total_wall: start.elapsed(),
         cache: stats_after.since(&stats_before),
         sim: SimCache::global().stats().since(&sim_before),
+        eval: EvalCache::global().stats().since(&eval_before),
         phases: timing::snapshot().since(&phases_before),
         outcomes,
     };
@@ -302,10 +310,13 @@ mod tests {
         assert!(s.contains("fig17"));
         assert!(s.contains("phases: synthesize"));
         assert!(s.contains(", model "));
+        assert!(s.contains(", eval "));
         assert!(s.contains(", report "));
         assert!(s.contains("prepared networks"));
         assert!(s.contains("workload sets"));
         assert!(s.contains("layer sims"));
         assert!(s.contains("sim artifacts"));
+        assert!(s.contains("evals"));
+        assert!(s.contains("eval artifacts"));
     }
 }

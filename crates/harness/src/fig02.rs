@@ -53,8 +53,10 @@ impl TrainedSynthNet {
         crate::timing::timed(crate::timing::Phase::Train, || {
             net.train(&train, epochs, 0.02, 0xBEEF)
         });
-        let fp_top1 = net.accuracy(&test);
-        let fp_top5 = net.topk_accuracy_with(&test, 5, |_, _| ());
+        // One forward pass per image yields both full-precision metrics.
+        let (fp_top1, fp_top5) = crate::timing::timed(crate::timing::Phase::Eval, || {
+            net.eval_with(&test, 5, |_, _| ())
+        });
         TrainedSynthNet {
             net,
             train,
@@ -82,7 +84,9 @@ pub fn run(fast: bool) -> String {
     let t = trained(fast);
     let mut rows = Vec::new();
     for ratio in RATIOS {
-        let acc = evaluate_synthnet(&t.net, &t.test, &t.train, &QuantSpec::paper_4bit(ratio), 5);
+        let acc = crate::timing::timed(crate::timing::Phase::Eval, || {
+            evaluate_synthnet(&t.net, &t.test, &t.train, &QuantSpec::paper_4bit(ratio), 5)
+        });
         rows.push(vec![
             pct(ratio),
             pct(acc.top1),

@@ -44,7 +44,9 @@ fn layer_weights(network: &str) -> Vec<Vec<f32>> {
 pub fn run(fast: bool) -> String {
     // Measured path: SynthNet at the AlexNet operating point.
     let t = trained(fast);
-    let measured = evaluate_synthnet(&t.net, &t.test, &t.train, &QuantSpec::paper_4bit(0.035), 5);
+    let measured = crate::timing::timed(crate::timing::Phase::Eval, || {
+        evaluate_synthnet(&t.net, &t.test, &t.train, &QuantSpec::paper_4bit(0.035), 5)
+    });
 
     // Surrogate path: the five ImageNet networks.
     let mut rows = Vec::new();

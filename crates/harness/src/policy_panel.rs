@@ -34,7 +34,9 @@ pub fn run(fast: bool) -> String {
             select,
             ..QuantSpec::paper_4bit(RATIO)
         };
-        let acc = evaluate_synthnet(&t.net, &t.test, &t.train, &spec, 5);
+        let acc = crate::timing::timed(crate::timing::Phase::Eval, || {
+            evaluate_synthnet(&t.net, &t.test, &t.train, &spec, 5)
+        });
 
         let mut policy = QuantPolicy::olaccel16("alexnet");
         policy.select = select;

@@ -295,15 +295,17 @@ impl CacheStats {
     }
 }
 
-/// Attaches the persistent disk tier at `dir` to *both* process-wide
-/// caches: the [`PrepCache`] (prepared networks, workload sets) and the
-/// model-phase [`ola_sim::SimCache`] (per-layer simulation results). This
-/// is what `--cache-dir` wires up in the CLI and the daemon — one flag,
-/// one directory, every cache level persistent.
+/// Attaches the persistent disk tier at `dir` to *every* process-wide
+/// cache: the [`PrepCache`] (prepared networks, workload sets), the
+/// model-phase [`ola_sim::SimCache`] (per-layer simulation results) and
+/// the eval-phase [`ola_quant::EvalCache`] (quantized-accuracy results).
+/// This is what `--cache-dir` wires up in the CLI and the daemon — one
+/// flag, one directory, every cache level persistent.
 pub fn attach_disk_store(dir: &Path) -> Result<(), StoreError> {
     PrepCache::global().set_disk(Some(dir))?;
     let store = Arc::new(ArtifactStore::open(dir)?);
-    ola_sim::SimCache::global().set_store(Some(store));
+    ola_sim::SimCache::global().set_store(Some(store.clone()));
+    ola_quant::EvalCache::global().set_store(Some(store));
     Ok(())
 }
 

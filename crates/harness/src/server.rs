@@ -114,8 +114,9 @@ pub fn serve(socket: &Path, options: &RunOptions) -> std::io::Result<ServeSummar
     SHUTDOWN.store(false, Ordering::SeqCst);
     install_signal_handlers();
     if let Some(dir) = &options.cache_dir {
-        // Both persistent tiers: prepared artifacts *and* per-layer sim
-        // records, so a warm daemon skips the model phase too.
+        // Every persistent tier: prepared artifacts, per-layer sim records
+        // *and* eval records, so a warm daemon skips the model and eval
+        // phases too.
         crate::prep::attach_disk_store(dir)
             .map_err(|e| std::io::Error::other(format!("cannot open --cache-dir: {e}")))?;
     }
@@ -239,9 +240,10 @@ fn respond(server: &Server, line: &str) -> Vec<u8> {
         }
         Ok(Request::Stats) => {
             let payload = format!(
-                "{}\n{}\n",
+                "{}\n{}\n{}\n",
                 PrepCache::global().stats().render(),
-                ola_sim::SimCache::global().stats().render()
+                ola_sim::SimCache::global().stats().render(),
+                ola_quant::EvalCache::global().stats().render()
             );
             let mut out = format!("ok stats bytes={}\n", payload.len()).into_bytes();
             out.extend_from_slice(payload.as_bytes());
@@ -322,6 +324,7 @@ fn run_request(server: &Server, name: &str, fast: bool, jobs: Option<usize>) -> 
         ola_nn::kernels::set_forward_jobs(jobs);
         ola_sim::workload::set_extract_jobs(jobs);
         ola_sim::simcache::set_model_jobs(jobs);
+        ola_quant::evalcache::set_eval_jobs(jobs);
         ola_tensor::par::set_fill_jobs(jobs);
     }
     let start = Instant::now();

@@ -274,21 +274,101 @@ impl SynthNet {
         self.forward_with(x, |_, _| ())
     }
 
-    /// Top-1 accuracy on a dataset, with an activation transform hook.
-    pub fn accuracy_with<F: FnMut(LayerId, &mut [f32])>(
+    /// Evaluates one image with a single forward pass, returning
+    /// `(top-1 correct, top-k correct)`.
+    ///
+    /// Top-1 is the NaN-sound [`argmax`] (first index wins). Top-k is a
+    /// single-pass NaN-sound rank instead of sorting the full logit vector
+    /// (which panicked on NaN via `partial_cmp().unwrap()`): the label is
+    /// in the top k iff fewer than k logits outrank it under the
+    /// stable-descending order — strictly greater, or equal with a smaller
+    /// index (`total_cmp` puts NaN above every finite logit, matching "a
+    /// NaN logit beats the label").
+    fn eval_image<F: FnMut(LayerId, &mut [f32])>(
+        &self,
+        img: &[f32],
+        label: usize,
+        k: usize,
+        act: F,
+    ) -> (bool, bool) {
+        let logits = self.forward_with(img, act);
+        let top1 = argmax(&logits) == label;
+        let rank = logits
+            .iter()
+            .enumerate()
+            .filter(|&(i, v)| match v.total_cmp(&logits[label]) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Equal => i < label,
+                std::cmp::Ordering::Less => false,
+            })
+            .count();
+        (top1, rank < k)
+    }
+
+    /// Top-1 and top-k accuracy from **one** forward pass per image, with
+    /// an activation transform hook. Returns `(top1, topk)`.
+    ///
+    /// Top-1 is derivable from the same logits as top-k, so evaluating
+    /// both metrics together halves the test-set forwards compared to
+    /// calling [`SynthNet::accuracy_with`] and
+    /// [`SynthNet::topk_accuracy_with`] separately.
+    pub fn eval_with<F: FnMut(LayerId, &mut [f32])>(
         &self,
         data: &SynthDataset,
+        k: usize,
         mut act: F,
-    ) -> f64 {
-        let mut correct = 0usize;
+    ) -> (f64, f64) {
+        let mut top1 = 0usize;
+        let mut topk = 0usize;
         for (img, &label) in data.images.iter().zip(&data.labels) {
-            let logits = self.forward_with(img, &mut act);
-            let pred = argmax(&logits);
-            if pred == label {
-                correct += 1;
-            }
+            let (t1, tk) = self.eval_image(img, label, k, &mut act);
+            top1 += t1 as usize;
+            topk += tk as usize;
         }
-        correct as f64 / data.len() as f64
+        (
+            top1 as f64 / data.len() as f64,
+            topk as f64 / data.len() as f64,
+        )
+    }
+
+    /// [`SynthNet::eval_with`] fanned out over `jobs` workers via
+    /// [`ordered_map`].
+    ///
+    /// Requires a `Fn + Sync` hook (immutable after construction — the
+    /// quantizers are, once calibrated). Each image's `(top1, topk)` pair
+    /// is a pure function of its input; the boolean counts are summed in
+    /// image order, so the result is bit-identical to the serial
+    /// [`SynthNet::eval_with`] at any worker count.
+    pub fn eval_with_jobs<F>(
+        &self,
+        data: &SynthDataset,
+        k: usize,
+        act: F,
+        jobs: usize,
+    ) -> (f64, f64)
+    where
+        F: Fn(LayerId, &mut [f32]) + Sync,
+    {
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let per_image = ordered_map(&indices, jobs, |_, &i| {
+            self.eval_image(&data.images[i], data.labels[i], k, &act)
+        });
+        let mut top1 = 0usize;
+        let mut topk = 0usize;
+        for (t1, tk) in per_image {
+            top1 += t1 as usize;
+            topk += tk as usize;
+        }
+        (
+            top1 as f64 / data.len() as f64,
+            topk as f64 / data.len() as f64,
+        )
+    }
+
+    /// Top-1 accuracy on a dataset, with an activation transform hook.
+    /// Thin wrapper over [`SynthNet::eval_with`].
+    pub fn accuracy_with<F: FnMut(LayerId, &mut [f32])>(&self, data: &SynthDataset, act: F) -> f64 {
+        self.eval_with(data, 1, act).0
     }
 
     /// Top-1 accuracy, full precision.
@@ -296,36 +376,15 @@ impl SynthNet {
         self.accuracy_with(data, |_, _| ())
     }
 
-    /// Top-k accuracy with an activation hook.
+    /// Top-k accuracy with an activation hook. Thin wrapper over
+    /// [`SynthNet::eval_with`].
     pub fn topk_accuracy_with<F: FnMut(LayerId, &mut [f32])>(
         &self,
         data: &SynthDataset,
         k: usize,
-        mut act: F,
+        act: F,
     ) -> f64 {
-        let mut correct = 0usize;
-        for (img, &label) in data.images.iter().zip(&data.labels) {
-            let logits = self.forward_with(img, &mut act);
-            // Single-pass NaN-sound rank instead of sorting the full logit
-            // vector (which panicked on NaN via partial_cmp().unwrap()):
-            // the label is in the top k iff fewer than k logits outrank it
-            // under the stable-descending order — strictly greater, or equal
-            // with a smaller index (total_cmp puts NaN above every finite
-            // logit, matching "a NaN logit beats the label").
-            let rank = logits
-                .iter()
-                .enumerate()
-                .filter(|&(i, v)| match v.total_cmp(&logits[label]) {
-                    std::cmp::Ordering::Greater => true,
-                    std::cmp::Ordering::Equal => i < label,
-                    std::cmp::Ordering::Less => false,
-                })
-                .count();
-            if rank < k {
-                correct += 1;
-            }
-        }
-        correct as f64 / data.len() as f64
+        self.eval_with(data, k, act).1
     }
 
     /// Trains with SGD + momentum for `epochs` passes over `data`.
@@ -923,6 +982,40 @@ mod tests {
         }
         // Original untouched.
         assert!(net.w1.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn eval_with_returns_both_metrics_from_one_pass() {
+        let data = SynthDataset::generate(80, 5, 23);
+        let mut net = SynthNet::new(5, 24);
+        net.train(&data, 2, 0.02, 25);
+        let (top1, top3) = net.eval_with(&data, 3, |_, _| ());
+        assert_eq!(top1, net.accuracy(&data));
+        assert_eq!(top3, net.topk_accuracy_with(&data, 3, |_, _| ()));
+        assert!(top3 >= top1, "top-3 can never be below top-1");
+    }
+
+    #[test]
+    fn eval_with_jobs_matches_serial_at_any_worker_count() {
+        let data = SynthDataset::generate(70, 4, 33);
+        let net = SynthNet::new(4, 34);
+        // A hook that actually perturbs activations, like the quantizers do.
+        let hook = |layer: LayerId, a: &mut [f32]| {
+            if layer == LayerId::Conv2 {
+                for v in a {
+                    *v = (*v * 4.0).round() / 4.0;
+                }
+            }
+        };
+        let serial = net.eval_with(&data, 2, hook);
+        for jobs in [1, 2, 4] {
+            let par = net.eval_with_jobs(&data, 2, hook, jobs);
+            assert_eq!(
+                (serial.0.to_bits(), serial.1.to_bits()),
+                (par.0.to_bits(), par.1.to_bits()),
+                "jobs={jobs} drifted from serial"
+            );
+        }
     }
 
     #[test]

@@ -13,11 +13,23 @@
 //!    the paper's ~0.8% drop; it is a documented stand-in, not a claim of
 //!    ImageNet-level fidelity.
 
+use crate::evalcache::{eval_jobs, eval_key, EvalCache};
 use crate::linear::LinearQuantizer;
 use crate::metrics::sqnr_db;
 use crate::outlier::OutlierQuantizer;
 use crate::policy::{OutlierSelect, PolicyQuantizer};
 use ola_nn::synthnet::{LayerId, SynthDataset, SynthNet};
+use ola_tensor::par::ordered_map;
+
+/// How many calibration-split images feed the activation-quantizer
+/// calibration pass (the design-time histogram pass of §II). 64 images
+/// populate each per-layer activation histogram with tens of thousands of
+/// post-ReLU values — enough for stable thresholds — while keeping
+/// calibration a small fraction of the test-set evaluation. Folded into
+/// the eval cache key ([`crate::evalcache::eval_key`]): only these images
+/// can affect the measured result, so the calibration split's unused tail
+/// never invalidates a cached record.
+pub const CALIB_IMAGES: usize = 64;
 
 /// Quantization policy for an accuracy evaluation.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -89,12 +101,42 @@ pub struct QuantAccuracy {
 /// Quantizes a trained [`SynthNet`] per `spec` and measures accuracy on
 /// `data`. `topk` selects the k for the secondary metric (the paper reports
 /// top-5; with 10 synthetic classes we default to the same).
+///
+/// Memoized through the process-wide [`EvalCache`] (and its disk tier,
+/// when attached): repeated calls with bit-identical inputs — fig2's 3%
+/// point and the policy panel's magnitude row, or a second run of the same
+/// suite — evaluate once. The evaluation itself fans the calibration and
+/// test-set forwards out over the engine's eval worker budget
+/// ([`crate::evalcache::eval_jobs`]); see [`evaluate_synthnet_jobs`] for
+/// the determinism guarantee.
 pub fn evaluate_synthnet(
     net: &SynthNet,
     data: &SynthDataset,
     calib: &SynthDataset,
     spec: &QuantSpec,
     topk: usize,
+) -> QuantAccuracy {
+    let key = eval_key(net, data, calib, spec, topk);
+    EvalCache::global().eval(key, || {
+        evaluate_synthnet_jobs(net, data, calib, spec, topk, eval_jobs())
+    })
+}
+
+/// [`evaluate_synthnet`] with an explicit worker count and **no**
+/// memoization — the cache-bypassing entry point property tests compare
+/// cached results against.
+///
+/// Each image's `(top1, topk)` outcome and each calibration image's
+/// per-layer activation population are pure functions of that image, and
+/// both are merged in image order ([`ordered_map`]'s contract), so the
+/// result is bit-identical at any `jobs`.
+pub fn evaluate_synthnet_jobs(
+    net: &SynthNet,
+    data: &SynthDataset,
+    calib: &SynthDataset,
+    spec: &QuantSpec,
+    topk: usize,
+    jobs: usize,
 ) -> QuantAccuracy {
     // ---- quantize weights (per layer) ----
     let mut outlier_weights = 0usize;
@@ -145,11 +187,22 @@ pub fn evaluate_synthnet(
     });
 
     // ---- calibrate activation quantizers on the calibration split ----
-    let mut act_pops: Vec<Vec<f32>> = vec![Vec::new(); 4];
-    for img in calib.images.iter().take(64) {
+    // Per-image collection runs in parallel; each image contributes one
+    // contiguous per-slot segment, concatenated in image order — the same
+    // population byte-for-byte as the old serial loop at any worker count.
+    let calib_imgs: Vec<&Vec<f32>> = calib.images.iter().take(CALIB_IMAGES).collect();
+    let per_image = ordered_map(&calib_imgs, jobs, |_, img| {
+        let mut slots: [Vec<f32>; 4] = Default::default();
         let _ = qnet.forward_with(img, |layer, a| {
-            act_pops[act_slot(layer)].extend_from_slice(a);
+            slots[act_slot(layer)].extend_from_slice(a);
         });
+        slots
+    });
+    let mut act_pops: Vec<Vec<f32>> = vec![Vec::new(); 4];
+    for slots in per_image {
+        for (pop, slot) in act_pops.iter_mut().zip(slots) {
+            pop.extend(slot);
+        }
     }
     let act_quants: Vec<Option<ActQuant>> = act_pops
         .iter()
@@ -190,6 +243,9 @@ pub fn evaluate_synthnet(
         .collect();
 
     // ---- evaluate with activation quantization in the forward hook ----
+    // The quantizers are immutable once calibrated, so the hook is
+    // `Fn + Sync` and both metrics come from one forward pass per image,
+    // fanned out over the worker budget.
     let quantize_act = |layer: LayerId, a: &mut [f32]| {
         if !spec.quantize_acts {
             return;
@@ -204,8 +260,7 @@ pub fn evaluate_synthnet(
             }
         }
     };
-    let top1 = qnet.accuracy_with(data, quantize_act);
-    let topk_acc = qnet.topk_accuracy_with(data, topk, quantize_act);
+    let (top1, topk_acc) = qnet.eval_with_jobs(data, topk, quantize_act, jobs);
     QuantAccuracy {
         top1,
         topk: topk_acc,
@@ -352,6 +407,32 @@ mod tests {
         assert!(
             (fp - w_only.top1) + (fp - a_only.top1) > 0.5 * (fp - full.top1),
             "side damage should account for much of the total"
+        );
+    }
+
+    #[test]
+    fn act_slot_fc2_aliases_fc1_but_the_hook_never_fires_for_fc2() {
+        // Four quantizer slots cover five layers: Fc2 aliases Fc1's slot.
+        assert_eq!(act_slot(LayerId::Fc2), act_slot(LayerId::Fc1));
+        assert_eq!(
+            [LayerId::Conv1, LayerId::Conv2, LayerId::Conv3, LayerId::Fc1].map(act_slot),
+            [0, 1, 2, 3]
+        );
+        // The aliasing is sound only while the forward hook skips Fc2
+        // (it produces the logits). Pin that invariant: a future
+        // forward-hook change that fires for Fc2 would silently mix
+        // logits into Fc1's calibration population.
+        let net = SynthNet::new(4, 8);
+        let data = SynthDataset::generate(1, 4, 8);
+        let mut seen = Vec::new();
+        let _ = net.forward_with(&data.images[0], |layer, _| seen.push(layer));
+        assert!(
+            !seen.contains(&LayerId::Fc2),
+            "hook fired for Fc2; the act_slot Fc1/Fc2 aliasing is now unsound"
+        );
+        assert_eq!(
+            seen.iter().copied().map(act_slot).collect::<Vec<_>>(),
+            [0, 1, 2, 3]
         );
     }
 

@@ -1,0 +1,391 @@
+//! Process-wide memoization of quantized-accuracy evaluations.
+//!
+//! The accuracy figures re-evaluate overlapping `(trained net × dataset ×
+//! QuantSpec × topk)` points — fig2's ratio sweep, fig3's ablations and
+//! the policy panel all quantize and run the same trained `SynthNet` over
+//! the same test split (the panel's magnitude row *is* fig2's 3% point).
+//! [`EvalCache`] is the report-phase analogue of the harness's `PrepCache`
+//! and `ola_sim::simcache::SimCache`: a global two-level cache of
+//! [`QuantAccuracy`] records keyed by a content fingerprint
+//! (see [`ola_tensor::memo::Fingerprint`]) of everything that can change
+//! the measured result.
+//!
+//! Correctness rests on the same two facts as the sim cache:
+//!
+//! * [`crate::accuracy::evaluate_synthnet`] is a **pure function** of its
+//!   fingerprinted inputs — the trained weights (by bit pattern), the test
+//!   and calibration images, every [`QuantSpec`] field (floats by bit
+//!   pattern) and `topk` — so a cached record is bit-identical to a fresh
+//!   evaluation at any worker count;
+//! * fills run under the exactly-once protocol of
+//!   [`ola_tensor::memo::fill_slot`], so concurrent figures and daemon
+//!   requests coalesce onto one evaluation per key and a panicking build
+//!   never poisons its slot.
+//!
+//! With [`EvalCache::set_store`] the cache gains a persistent tier: misses
+//! read through to an [`EvalResultStore`] before evaluating and fresh
+//! results write through after, which is what lets a warm `--cache-dir`
+//! run skip the eval phase entirely. The store content-addresses records
+//! by this fingerprint plus a separate `eval_version()` source fold (see
+//! `ola-store`), so accelerator-model or extraction edits never discard
+//! still-valid eval records — and vice versa.
+
+use crate::accuracy::{QuantAccuracy, QuantSpec, CALIB_IMAGES};
+use crate::policy::OutlierSelect;
+use ola_nn::synthnet::{SynthDataset, SynthNet};
+use ola_tensor::memo::{fill_slot, lock_unpoisoned, Fill, Fingerprint, Slot};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Process-wide default worker count for the eval phase (per-image
+/// test-set and calibration forwards), set by the experiment engine from
+/// its `--jobs` split. Zero means "unset": standalone callers fall back to
+/// [`ola_tensor::par::default_jobs`].
+static EVAL_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default eval-phase worker count.
+///
+/// # Panics
+///
+/// Panics if `jobs` is zero.
+pub fn set_eval_jobs(jobs: usize) {
+    assert!(jobs > 0, "eval worker count must be positive");
+    EVAL_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// Current process-wide default eval-phase worker count:
+/// [`ola_tensor::par::default_jobs`] until [`set_eval_jobs`] overrides it.
+pub fn eval_jobs() -> usize {
+    match EVAL_JOBS.load(Ordering::Relaxed) {
+        0 => ola_tensor::par::default_jobs(),
+        j => j,
+    }
+}
+
+/// The content fingerprint an accuracy evaluation is memoized under: an
+/// FNV fold of the trained net (classes, then every weight/bias matrix by
+/// `to_bits`), the test dataset (classes, labels, images), the portion of
+/// the calibration split the evaluation actually reads (its first
+/// [`CALIB_IMAGES`] samples — the unused tail can't invalidate), every
+/// [`QuantSpec`] field (floats by bit pattern, the selection rule by tag
+/// plus window), and `topk`.
+pub fn eval_key(
+    net: &SynthNet,
+    data: &SynthDataset,
+    calib: &SynthDataset,
+    spec: &QuantSpec,
+    topk: usize,
+) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.usize(net.classes);
+    for (w, b) in [
+        (&net.w1, &net.b1),
+        (&net.w2, &net.b2),
+        (&net.w3, &net.b3),
+        (&net.w4, &net.b4),
+        (&net.w5, &net.b5),
+    ] {
+        fp.f32s(w).f32s(b);
+    }
+    fold_dataset(&mut fp, data, data.images.len());
+    fold_dataset(&mut fp, calib, CALIB_IMAGES);
+    fold_spec(&mut fp, spec);
+    fp.usize(topk);
+    fp.finish()
+}
+
+/// Folds the first `take` images of a dataset (length-framed so adjacent
+/// datasets can't alias) plus its labels and class count.
+fn fold_dataset(fp: &mut Fingerprint, data: &SynthDataset, take: usize) {
+    let n = take.min(data.images.len());
+    fp.usize(data.classes).usize(n);
+    for img in data.images.iter().take(n) {
+        fp.f32s(img);
+    }
+    for &label in data.labels.iter().take(n) {
+        fp.usize(label);
+    }
+}
+
+/// Folds every [`QuantSpec`] field, in declaration order.
+fn fold_spec(fp: &mut Fingerprint, spec: &QuantSpec) {
+    fp.u8(spec.low_bits)
+        .u8(spec.weight_high_bits)
+        .u8(spec.act_high_bits)
+        .f64(spec.outlier_ratio)
+        .u8(spec.first_layer_weight_bits)
+        .u8(spec.quantize_weights as u8)
+        .u8(spec.quantize_acts as u8);
+    match spec.select {
+        OutlierSelect::MagnitudePercentile => {
+            fp.u8(0);
+        }
+        OutlierSelect::WindowedTopK { window } => {
+            fp.u8(1).usize(window);
+        }
+        OutlierSelect::SensitivityWeighted { window } => {
+            fp.u8(2).usize(window);
+        }
+    }
+}
+
+/// The persistent tier of the [`EvalCache`]: accuracy records addressed by
+/// their content fingerprint. Implemented by `ola-store::ArtifactStore`;
+/// defined here so the cache (which sits below the store in the crate
+/// graph) can hold one behind a trait object.
+///
+/// Load failures of any kind (missing file, stale eval-code version,
+/// corrupt bytes) must surface as `None` and save failures must be
+/// swallowed (warning on stderr) — a broken store degrades to a cold
+/// cache, never a failed run.
+pub trait EvalResultStore: Send + Sync {
+    /// Loads a cached accuracy record, if a valid one exists.
+    fn load_eval(&self, key: u64) -> Option<QuantAccuracy>;
+    /// Persists an accuracy record under `key`.
+    fn save_eval(&self, key: u64, acc: &QuantAccuracy);
+}
+
+/// A point-in-time snapshot of [`EvalCache`] hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Evaluation requests served from memory.
+    pub hits: u64,
+    /// Evaluation requests that ran the full quantize/calibrate/forward
+    /// pipeline.
+    pub misses: u64,
+    /// Requests served by loading a record from the disk store (these
+    /// count as neither hit nor evaluated — no computation ran).
+    pub disk_hits: u64,
+    /// Disk-store lookups that found nothing usable (missing file, stale
+    /// eval version, or a corrupt record that forced a recompute).
+    pub disk_misses: u64,
+}
+
+impl EvalStats {
+    /// Formats the counters as the run-summary lines.
+    pub fn render(&self) -> String {
+        format!(
+            "evals:             {} evaluated, {} cache hits\n\
+             eval artifacts:    {} loaded, {} missed",
+            self.misses, self.hits, self.disk_hits, self.disk_misses
+        )
+    }
+
+    /// The counter-wise difference `self - before` (saturating), for
+    /// delta-over-a-run reporting.
+    pub fn since(&self, before: &EvalStats) -> EvalStats {
+        EvalStats {
+            hits: self.hits.saturating_sub(before.hits),
+            misses: self.misses.saturating_sub(before.misses),
+            disk_hits: self.disk_hits.saturating_sub(before.disk_hits),
+            disk_misses: self.disk_misses.saturating_sub(before.disk_misses),
+        }
+    }
+}
+
+/// Process-wide memoization of accuracy evaluations, with an optional
+/// persistent disk tier. See the module docs for the keying and
+/// determinism argument.
+#[derive(Default)]
+pub struct EvalCache {
+    evals: Mutex<HashMap<u64, Slot<QuantAccuracy>>>,
+    store: Mutex<Option<Arc<dyn EvalResultStore>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+}
+
+impl EvalCache {
+    /// An empty cache (tests; production code uses [`EvalCache::global`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide cache instance every accuracy evaluation routes
+    /// through.
+    pub fn global() -> &'static EvalCache {
+        static GLOBAL: OnceLock<EvalCache> = OnceLock::new();
+        GLOBAL.get_or_init(EvalCache::new)
+    }
+
+    /// Attaches (or, with `None`, detaches) the persistent disk tier.
+    /// Misses read through to the store before evaluating and fresh
+    /// results write through after; already-resident entries are
+    /// unaffected.
+    pub fn set_store(&self, store: Option<Arc<dyn EvalResultStore>>) {
+        *lock_unpoisoned(&self.store) = store;
+    }
+
+    fn store(&self) -> Option<Arc<dyn EvalResultStore>> {
+        lock_unpoisoned(&self.store).clone()
+    }
+
+    /// Fetches or computes (exactly once per key, process-wide) the
+    /// accuracy record for `key`. `build` must be a pure function of the
+    /// inputs folded into `key` (which [`eval_key`] guarantees for
+    /// [`crate::accuracy::evaluate_synthnet`]).
+    pub fn eval(&self, key: u64, build: impl FnOnce() -> QuantAccuracy) -> QuantAccuracy {
+        let (value, fill) = fill_slot(&self.evals, key, || {
+            let store = self.store();
+            if let Some(store) = &store {
+                if let Some(acc) = store.load_eval(key) {
+                    return (Arc::new(acc), Fill::Disk);
+                }
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            let acc = build();
+            if let Some(store) = &store {
+                store.save_eval(key, &acc);
+            }
+            (Arc::new(acc), Fill::Built)
+        });
+        match fill {
+            None => self.hits.fetch_add(1, Ordering::Relaxed),
+            Some(Fill::Built) => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(Fill::Disk) => self.disk_hits.fetch_add(1, Ordering::Relaxed),
+        };
+        *value
+    }
+
+    /// Snapshots the hit/miss counters.
+    pub fn stats(&self) -> EvalStats {
+        EvalStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.disk_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every entry and zeroes the counters (test isolation; also
+    /// frees the memory of a long-lived process between suites). The disk
+    /// tier, if attached, stays attached.
+    pub fn reset(&self) {
+        let mut evals = lock_unpoisoned(&self.evals);
+        evals.clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.disk_hits.store(0, Ordering::Relaxed);
+        self.disk_misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(top1: f64) -> QuantAccuracy {
+        QuantAccuracy {
+            top1,
+            topk: top1,
+            realized_weight_ratio: 0.03,
+        }
+    }
+
+    #[test]
+    fn evals_compute_once_per_key() {
+        let cache = EvalCache::new();
+        let mut builds = 0u32;
+        for _ in 0..3 {
+            let r = cache.eval(11, || {
+                builds += 1;
+                acc(0.9)
+            });
+            assert_eq!(r.top1, 0.9);
+        }
+        assert_eq!(builds, 1);
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 2);
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_entries() {
+        let cache = EvalCache::new();
+        let a = cache.eval(1, || acc(0.1));
+        let b = cache.eval(2, || acc(0.2));
+        assert_ne!(a.top1, b.top1);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn reset_clears_entries_and_counters() {
+        let cache = EvalCache::new();
+        let _ = cache.eval(9, || acc(0.5));
+        cache.reset();
+        assert_eq!(cache.stats(), EvalStats::default());
+        let _ = cache.eval(9, || acc(0.5));
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn eval_jobs_defaults_then_overrides() {
+        assert!(eval_jobs() >= 1);
+        set_eval_jobs(3);
+        assert_eq!(eval_jobs(), 3);
+        set_eval_jobs(ola_tensor::par::default_jobs());
+    }
+
+    #[test]
+    fn stats_render_names_every_counter() {
+        let s = EvalStats {
+            hits: 1,
+            misses: 2,
+            disk_hits: 3,
+            disk_misses: 4,
+        };
+        let r = s.render();
+        assert!(r.contains("evals:             2 evaluated, 1 cache hits"));
+        assert!(r.contains("eval artifacts:    3 loaded, 4 missed"));
+    }
+
+    #[test]
+    fn eval_key_separates_every_input() {
+        let net = SynthNet::new(4, 1);
+        let data = SynthDataset::generate(8, 4, 2);
+        let calib = SynthDataset::generate(8, 4, 3);
+        let spec = QuantSpec::paper_4bit(0.03);
+        let base = eval_key(&net, &data, &calib, &spec, 5);
+        // Stable for identical inputs.
+        assert_eq!(base, eval_key(&net, &data, &calib, &spec, 5));
+        // Every input moves the key.
+        assert_ne!(base, eval_key(&net, &data, &calib, &spec, 1));
+        assert_ne!(
+            base,
+            eval_key(&net, &data, &calib, &QuantSpec::paper_4bit(0.04), 5)
+        );
+        assert_ne!(
+            base,
+            eval_key(&net, &data, &calib, &QuantSpec::weights_only(0.03), 5)
+        );
+        let windowed = QuantSpec {
+            select: OutlierSelect::WindowedTopK { window: 16 },
+            ..spec
+        };
+        assert_ne!(base, eval_key(&net, &data, &calib, &windowed, 5));
+        let other_net = SynthNet::new(4, 9);
+        assert_ne!(base, eval_key(&other_net, &data, &calib, &spec, 5));
+        assert_ne!(base, eval_key(&net, &calib, &data, &spec, 5));
+    }
+
+    #[test]
+    fn eval_key_ignores_calibration_tail_beyond_calib_images() {
+        // Only the first CALIB_IMAGES calibration images reach the
+        // evaluation; the key must not over-invalidate on the unused tail.
+        let net = SynthNet::new(3, 4);
+        let data = SynthDataset::generate(6, 3, 5);
+        let calib_long = SynthDataset::generate(CALIB_IMAGES + 40, 3, 6);
+        let calib_short = SynthDataset {
+            images: calib_long.images[..CALIB_IMAGES].to_vec(),
+            labels: calib_long.labels[..CALIB_IMAGES].to_vec(),
+            classes: 3,
+        };
+        let spec = QuantSpec::paper_4bit(0.02);
+        assert_eq!(
+            eval_key(&net, &data, &calib_long, &spec, 5),
+            eval_key(&net, &data, &calib_short, &spec, 5)
+        );
+    }
+}

@@ -21,6 +21,9 @@
 //! * [`accuracy`] — quantized-network accuracy evaluation on
 //!   [`ola_nn::synthnet`] plus the SQNR-based surrogate used for the five
 //!   ImageNet networks (DESIGN.md §2).
+//! * [`evalcache`] — process-wide, optionally disk-backed memoization of
+//!   those accuracy evaluations ([`EvalCache`]), keyed by a content
+//!   fingerprint of net, data and spec (DESIGN.md §17).
 //!
 //! # Example
 //!
@@ -41,12 +44,14 @@
 pub mod accuracy;
 pub mod calibrate;
 pub mod chunks;
+pub mod evalcache;
 pub mod linear;
 pub mod metrics;
 pub mod outlier;
 pub mod policy;
 
 pub use chunks::{OutlierActChunk, WeightChunk, CHUNK_WEIGHTS};
+pub use evalcache::{EvalCache, EvalResultStore, EvalStats};
 pub use linear::LinearQuantizer;
 pub use outlier::{OutlierQuantized, OutlierQuantizer};
 pub use policy::{OutlierPolicy, OutlierSelect, PolicyQuantizer};

@@ -32,6 +32,9 @@ pub enum Phase {
     /// Accelerator model evaluation (cycle/energy simulation of a
     /// workload set, including the event-driven validation backend).
     Model,
+    /// Quantized-accuracy evaluation (quantize/calibrate/forward over the
+    /// SynthNet test set — the fig2/fig3/policy-panel hot path).
+    Eval,
 }
 
 static SYNTHESIZE_NS: AtomicU64 = AtomicU64::new(0);
@@ -40,6 +43,7 @@ static EXTRACT_NS: AtomicU64 = AtomicU64::new(0);
 static TRAIN_NS: AtomicU64 = AtomicU64::new(0);
 static LOAD_NS: AtomicU64 = AtomicU64::new(0);
 static MODEL_NS: AtomicU64 = AtomicU64::new(0);
+static EVAL_NS: AtomicU64 = AtomicU64::new(0);
 
 fn counter(phase: Phase) -> &'static AtomicU64 {
     match phase {
@@ -49,6 +53,7 @@ fn counter(phase: Phase) -> &'static AtomicU64 {
         Phase::Train => &TRAIN_NS,
         Phase::Load => &LOAD_NS,
         Phase::Model => &MODEL_NS,
+        Phase::Eval => &EVAL_NS,
     }
 }
 
@@ -80,12 +85,20 @@ pub struct PhaseStats {
     pub load: Duration,
     /// Time spent evaluating the accelerator models.
     pub model: Duration,
+    /// Time spent measuring quantized accuracy.
+    pub eval: Duration,
 }
 
 impl PhaseStats {
     /// The sum of the instrumented phases.
     pub fn instrumented(&self) -> Duration {
-        self.synthesize + self.forward + self.extract + self.train + self.load + self.model
+        self.synthesize
+            + self.forward
+            + self.extract
+            + self.train
+            + self.load
+            + self.model
+            + self.eval
     }
 
     /// The phase-wise difference `self - before` (saturating), for
@@ -98,6 +111,7 @@ impl PhaseStats {
             train: self.train.saturating_sub(before.train),
             load: self.load.saturating_sub(before.load),
             model: self.model.saturating_sub(before.model),
+            eval: self.eval.saturating_sub(before.eval),
         }
     }
 
@@ -107,13 +121,14 @@ impl PhaseStats {
     pub fn render(&self, busy: Duration) -> String {
         let report = busy.saturating_sub(self.instrumented());
         format!(
-            "phases: synthesize {:.3}s, forward {:.3}s, extract {:.3}s, train {:.3}s, load {:.3}s, model {:.3}s, report {:.3}s",
+            "phases: synthesize {:.3}s, forward {:.3}s, extract {:.3}s, train {:.3}s, load {:.3}s, model {:.3}s, eval {:.3}s, report {:.3}s",
             self.synthesize.as_secs_f64(),
             self.forward.as_secs_f64(),
             self.extract.as_secs_f64(),
             self.train.as_secs_f64(),
             self.load.as_secs_f64(),
             self.model.as_secs_f64(),
+            self.eval.as_secs_f64(),
             report.as_secs_f64(),
         )
     }
@@ -128,6 +143,7 @@ pub fn snapshot() -> PhaseStats {
         train: Duration::from_nanos(TRAIN_NS.load(Ordering::Relaxed)),
         load: Duration::from_nanos(LOAD_NS.load(Ordering::Relaxed)),
         model: Duration::from_nanos(MODEL_NS.load(Ordering::Relaxed)),
+        eval: Duration::from_nanos(EVAL_NS.load(Ordering::Relaxed)),
     }
 }
 
@@ -148,6 +164,7 @@ mod tests {
         let line = delta.render(Duration::from_secs(1));
         assert!(line.contains("extract"));
         assert!(line.contains("model"));
+        assert!(line.contains("eval"));
         assert!(line.contains("report"));
     }
 
@@ -160,6 +177,17 @@ mod tests {
         let delta = snapshot().since(&before);
         assert!(delta.model >= Duration::from_millis(3));
         assert!(delta.instrumented() >= delta.model);
+    }
+
+    #[test]
+    fn eval_phase_accumulates_separately() {
+        let before = snapshot();
+        timed(Phase::Eval, || {
+            std::thread::sleep(Duration::from_millis(3));
+        });
+        let delta = snapshot().since(&before);
+        assert!(delta.eval >= Duration::from_millis(3));
+        assert!(delta.instrumented() >= delta.eval);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use ola_energy::{ComparisonMode, EnergyBreakdown};
 use ola_nn::network::WeightStore;
 use ola_nn::synth::SyntheticMatrix;
 use ola_nn::Params;
+use ola_quant::accuracy::QuantAccuracy;
 use ola_sim::policy::FirstLayerPolicy;
 use ola_sim::workload::{LayerKind, LayerWorkload, Shape4Ser, WorkloadSet};
 use ola_sim::{EventRecord, LayerRun, OutlierSelect, QuantPolicy, Utilization};
@@ -453,6 +454,22 @@ pub fn decode_event_record(r: &mut Reader<'_>) -> Result<EventRecord, StoreError
     })
 }
 
+/// Encodes a quantized-accuracy record: three `f64` bit patterns.
+pub fn encode_eval_record(w: &mut Writer, acc: &QuantAccuracy) {
+    w.f64(acc.top1);
+    w.f64(acc.topk);
+    w.f64(acc.realized_weight_ratio);
+}
+
+/// Decodes an accuracy record written by [`encode_eval_record`].
+pub fn decode_eval_record(r: &mut Reader<'_>) -> Result<QuantAccuracy, StoreError> {
+    Ok(QuantAccuracy {
+        top1: r.f64()?,
+        topk: r.f64()?,
+        realized_weight_ratio: r.f64()?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -602,6 +619,27 @@ mod tests {
         assert_eq!(back.energy.logic.to_bits(), run.energy.logic.to_bits());
         assert_eq!(back.utilization, run.utilization);
         assert_eq!(back.chunk_cycle_hist, run.chunk_cycle_hist);
+    }
+
+    #[test]
+    fn eval_record_codec_round_trips_bits() {
+        let acc = QuantAccuracy {
+            top1: 0.91333333,
+            topk: -0.0, // adversarial: bit pattern must survive
+            realized_weight_ratio: f64::NAN,
+        };
+        let mut w = Writer::new();
+        encode_eval_record(&mut w, &acc);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        let back = decode_eval_record(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.top1.to_bits(), acc.top1.to_bits());
+        assert_eq!(back.topk.to_bits(), acc.topk.to_bits());
+        assert_eq!(
+            back.realized_weight_ratio.to_bits(),
+            acc.realized_weight_ratio.to_bits()
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod wire;
 
 pub use codec::policy_fingerprint;
 pub use store::ArtifactStore;
-pub use version::{code_version, model_version, FORMAT_VERSION};
+pub use version::{code_version, eval_version, model_version, FORMAT_VERSION};
 pub use wire::{fnv1a64, StoreError};
 
 /// A unique scratch directory under the system temp dir for unit tests

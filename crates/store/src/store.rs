@@ -7,16 +7,17 @@
 //! magic        4 bytes  "OLAS"
 //! format       u32      FORMAT_VERSION
 //! kind         u8       1 = prepared network, 2 = workload set,
-//!                       3 = analytic sim record, 4 = event sim record
-//! network      string   length-prefixed UTF-8 ("" for sim records)
-//! scale        u64      spatial scale divisor (0 for sim records)
-//! seed         u64      preparation seed; for sim records, the SimCache
-//!                       content fingerprint
+//!                       3 = analytic sim record, 4 = event sim record,
+//!                       5 = accuracy-eval record
+//! network      string   length-prefixed UTF-8 ("" for sim/eval records)
+//! scale        u64      spatial scale divisor (0 for sim/eval records)
+//! seed         u64      preparation seed; for sim/eval records, the
+//!                       SimCache/EvalCache content fingerprint
 //! policy_fp    u64      policy fingerprint (0 for prepared networks and
-//!                       sim records)
+//!                       sim/eval records)
 //! code         u64      version fingerprint at write time (code_version
 //!                       for preparation artifacts, model_version for sim
-//!                       records)
+//!                       records, eval_version for eval records)
 //! payload_len  u64
 //! checksum     u64      FNV-1a over the payload bytes
 //! payload      payload_len bytes
@@ -30,13 +31,16 @@
 //! no artifact — never a torn one.
 
 use crate::codec::{
-    decode_event_record, decode_layer_run, decode_params, decode_tensor, decode_workload_set,
-    encode_event_record, encode_layer_run, encode_params, encode_tensor, encode_workload_set,
-    policy_fingerprint,
+    decode_eval_record, decode_event_record, decode_layer_run, decode_params, decode_tensor,
+    decode_workload_set, encode_eval_record, encode_event_record, encode_layer_run, encode_params,
+    encode_tensor, encode_workload_set, policy_fingerprint,
 };
-use crate::version::{code_version, model_version, FORMAT_VERSION};
+use crate::version::{code_version, eval_version, model_version, FORMAT_VERSION};
 use crate::wire::{corrupt, fnv1a64, Reader, StoreError, Writer};
 use ola_nn::Params;
+use ola_quant::accuracy::QuantAccuracy;
+use ola_quant::EvalResultStore;
+use ola_sim::timing;
 use ola_sim::workload::WorkloadSet;
 use ola_sim::{EventRecord, LayerRun, QuantPolicy, SimResultStore};
 use ola_tensor::Tensor;
@@ -50,6 +54,7 @@ const KIND_PREPARED: u8 = 1;
 const KIND_WORKLOADS: u8 = 2;
 const KIND_SIM_RUN: u8 = 3;
 const KIND_SIM_EVENT: u8 = 4;
+const KIND_EVAL: u8 = 5;
 
 /// Distinguishes concurrent writers' temporary files within one process.
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -60,6 +65,7 @@ pub struct ArtifactStore {
     dir: PathBuf,
     code: u64,
     model: u64,
+    eval: u64,
 }
 
 /// The identifying key of one artifact. `code` is the version fingerprint
@@ -87,6 +93,7 @@ impl ArtifactStore {
             dir: dir.to_path_buf(),
             code: code_version(),
             model: model_version(),
+            eval: eval_version(),
         })
     }
 
@@ -318,6 +325,50 @@ impl ArtifactStore {
         Ok(Some(rec))
     }
 
+    /// Path of an accuracy-eval record for this eval version. `key` is
+    /// the `EvalCache` content fingerprint.
+    pub fn eval_path(&self, key: u64) -> PathBuf {
+        self.dir
+            .join(format!("eval-{key:016x}-v{:016x}.olas", self.eval))
+    }
+
+    /// The header key of an eval record: the content fingerprint rides in
+    /// the `seed` slot, the version check uses the eval fingerprint.
+    fn eval_header_key(&self, key: u64) -> Key<'static> {
+        Key {
+            kind: KIND_EVAL,
+            network: "",
+            scale: 0,
+            seed: key,
+            policy_fp: 0,
+            code: self.eval,
+        }
+    }
+
+    /// Persists a quantized-accuracy record under its content fingerprint.
+    pub fn save_eval_record(&self, key: u64, acc: &QuantAccuracy) -> Result<(), StoreError> {
+        let mut payload = Writer::new();
+        encode_eval_record(&mut payload, acc);
+        self.commit(
+            &self.eval_path(key),
+            self.eval_header_key(key),
+            payload.into_bytes(),
+        )
+    }
+
+    /// Loads a quantized-accuracy record; same `Ok(None)` / `Err(Corrupt)`
+    /// contract as [`ArtifactStore::load_prepared`].
+    pub fn load_eval_record(&self, key: u64) -> Result<Option<QuantAccuracy>, StoreError> {
+        let Some(payload) = self.read_verified(&self.eval_path(key), self.eval_header_key(key))?
+        else {
+            return Ok(None);
+        };
+        let mut r = Reader::new(&payload);
+        let acc = decode_eval_record(&mut r)?;
+        r.finish()?;
+        Ok(Some(acc))
+    }
+
     /// Frames `payload` with the header and atomically commits it at
     /// `path` via a same-directory temporary file + `rename`.
     fn commit(&self, path: &Path, key: Key<'_>, payload: Vec<u8>) -> Result<(), StoreError> {
@@ -435,6 +486,29 @@ impl SimResultStore for ArtifactStore {
     fn save_event_record(&self, key: u64, record: &EventRecord) {
         if let Err(e) = self.save_sim_event(key, record) {
             eprintln!("warning: failed to persist event record {key:016x}: {e}");
+        }
+    }
+}
+
+/// The `EvalCache` persistent tier: same error-swallowing contract as the
+/// [`SimResultStore`] impl above. Loads are timed under `Phase::Load` here
+/// (the cache lives in `ola-quant`, below the timing module, so it can't
+/// record the phase itself).
+impl EvalResultStore for ArtifactStore {
+    fn load_eval(&self, key: u64) -> Option<QuantAccuracy> {
+        let loaded = timing::timed(timing::Phase::Load, || self.load_eval_record(key));
+        match loaded {
+            Ok(found) => found,
+            Err(e) => {
+                eprintln!("warning: eval record {key:016x} unreadable ({e}); re-evaluating");
+                None
+            }
+        }
+    }
+
+    fn save_eval(&self, key: u64, acc: &QuantAccuracy) {
+        if let Err(e) = self.save_eval_record(key, acc) {
+            eprintln!("warning: failed to persist eval record {key:016x}: {e}");
         }
     }
 }
@@ -612,6 +686,45 @@ mod tests {
             Err(StoreError::Corrupt(_))
         ));
         assert!(tier.load_layer_run(0xABCD).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eval_records_round_trip_through_the_trait() {
+        let dir = test_dir("store-eval");
+        let store = ArtifactStore::open(&dir).unwrap();
+        let tier: &dyn EvalResultStore = &store;
+
+        assert!(tier.load_eval(0xE0A1).is_none());
+        let acc = QuantAccuracy {
+            top1: 0.87,
+            topk: 0.99,
+            realized_weight_ratio: 0.0305,
+        };
+        tier.save_eval(0xE0A1, &acc);
+        let back = tier.load_eval(0xE0A1).unwrap();
+        assert_eq!(back.top1.to_bits(), acc.top1.to_bits());
+        assert_eq!(back.topk.to_bits(), acc.topk.to_bits());
+        assert_eq!(
+            back.realized_weight_ratio.to_bits(),
+            acc.realized_weight_ratio.to_bits()
+        );
+        // A different fingerprint misses; the same fingerprint under a sim
+        // record kind is a separate namespace.
+        assert!(tier.load_eval(0xE0A2).is_none());
+        assert!(store.load_sim_run(0xE0A1).unwrap().is_none());
+
+        // Corruption degrades to a miss through the trait (warn + None).
+        let path = store.eval_path(0xE0A1);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            store.load_eval_record(0xE0A1),
+            Err(StoreError::Corrupt(_))
+        ));
+        assert!(tier.load_eval(0xE0A1).is_none());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -85,8 +85,33 @@ const MODEL_SOURCES: &[&str] = &[
     include_str!("../../sim/src/traffic.rs"),
     include_str!("../../sim/src/result.rs"),
     include_str!("../../sim/src/simcache.rs"),
-    include_str!("../../sim/src/memo.rs"),
+    include_str!("../../tensor/src/memo.rs"),
     // The RNG behind the event backend's multi-outlier draws.
+    include_str!("../../../vendored/rand/src/lib.rs"),
+];
+
+/// Source files whose text determines *accuracy evaluation* bytes — the
+/// quantized forward pass and everything that shapes a `QuantAccuracy`
+/// record. Kept separate from [`SOURCES`]/[`MODEL_SOURCES`] so accelerator
+/// or extraction edits don't discard still-valid eval records (and an eval
+/// edit doesn't discard prep or sim artifacts). Text-only includes — no
+/// crate dependency on `ola-quant` needed.
+const EVAL_SOURCES: &[&str] = &[
+    // The evaluation pipeline itself: quantize, calibrate, forward, plus
+    // the cache keying machinery.
+    include_str!("../../quant/src/accuracy.rs"),
+    include_str!("../../quant/src/evalcache.rs"),
+    include_str!("../../quant/src/calibrate.rs"),
+    include_str!("../../quant/src/linear.rs"),
+    include_str!("../../quant/src/outlier.rs"),
+    include_str!("../../quant/src/policy.rs"),
+    // The network the accuracy figures run on (training, forward, eval).
+    include_str!("../../nn/src/synthnet.rs"),
+    // Shared substrate the quantizers and SynthNet lean on.
+    include_str!("../../tensor/src/stats.rs"),
+    include_str!("../../tensor/src/par.rs"),
+    include_str!("../../tensor/src/memo.rs"),
+    // The RNG behind dataset synthesis and training shuffles.
     include_str!("../../../vendored/rand/src/lib.rs"),
 ];
 
@@ -120,6 +145,14 @@ pub fn model_version() -> u64 {
     sources_version(MODEL_SOURCES)
 }
 
+/// The process's eval-version fingerprint: same construction as
+/// [`code_version`] but over [`EVAL_SOURCES`]. Content-addresses persisted
+/// `QuantAccuracy` records (the `EvalCache` disk tier) to the evaluation
+/// code that produced them.
+pub fn eval_version() -> u64 {
+    sources_version(EVAL_SOURCES)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +170,13 @@ mod tests {
         // Different source sets must not collide (which would defeat the
         // point of invalidating them independently).
         assert_ne!(model_version(), code_version());
+    }
+
+    #[test]
+    fn eval_version_is_stable_and_independent() {
+        assert_eq!(eval_version(), eval_version());
+        assert_ne!(eval_version(), 0);
+        assert_ne!(eval_version(), code_version());
+        assert_ne!(eval_version(), model_version());
     }
 }

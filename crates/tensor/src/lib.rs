@@ -21,6 +21,7 @@
 pub mod bytes;
 pub mod chunk;
 pub mod init;
+pub mod memo;
 pub mod par;
 pub mod scan;
 pub mod shape;

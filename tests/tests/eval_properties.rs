@@ -1,0 +1,212 @@
+//! Property tests for the quantized-accuracy evaluation pipeline
+//! (`ola_quant::evalcache` + `ola_quant::accuracy`): the data-parallel
+//! eval must be bit-identical to the serial one at any worker count, a
+//! cached record must be bit-identical to a fresh evaluation, and the
+//! disk tier must round-trip records bit-exactly through
+//! `EvalResultStore` without recomputing.
+
+use ola_nn::synthnet::{SynthDataset, SynthNet};
+use ola_quant::accuracy::{evaluate_synthnet_jobs, QuantAccuracy, QuantSpec};
+use ola_quant::evalcache::eval_key;
+use ola_quant::policy::OutlierSelect;
+use ola_quant::{EvalCache, EvalResultStore};
+use ola_store::ArtifactStore;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Bitwise equality of two accuracy records (floats by exact bit
+/// pattern — the determinism contract is byte-identity, not tolerance).
+fn assert_acc_bitwise_eq(a: &QuantAccuracy, b: &QuantAccuracy) {
+    assert_eq!(a.top1.to_bits(), b.top1.to_bits());
+    assert_eq!(a.topk.to_bits(), b.topk.to_bits());
+    assert_eq!(
+        a.realized_weight_ratio.to_bits(),
+        b.realized_weight_ratio.to_bits()
+    );
+}
+
+/// Strategy: an arbitrary quantization spec over the panel's selection
+/// rules — ratio, bit widths and topk all vary.
+fn quant_spec() -> impl Strategy<Value = (QuantSpec, usize)> {
+    (
+        (
+            0.0f64..0.08,
+            0usize..3, // selection rule
+            0usize..3, // index into [2, 4, 8] low bits
+        ),
+        (
+            1usize..6, // topk
+            0usize..2, // quantize weights?
+            0usize..2, // quantize activations?
+        ),
+    )
+        .prop_map(|((ratio, sel, bits), (topk, qw, qa))| {
+            let (qw, qa) = (qw == 1, qa == 1);
+            let select = match sel {
+                0 => OutlierSelect::MagnitudePercentile,
+                1 => OutlierSelect::WindowedTopK { window: 16 },
+                _ => OutlierSelect::SensitivityWeighted { window: 32 },
+            };
+            let spec = QuantSpec {
+                low_bits: [2u8, 4, 8][bits],
+                select,
+                // Never both off — that spec evaluates the FP net, which
+                // is a valid but uninteresting point for these tests.
+                quantize_weights: qw || !qa,
+                quantize_acts: qa,
+                ..QuantSpec::paper_4bit(ratio)
+            };
+            (spec, topk)
+        })
+}
+
+/// An untrained (but deterministic) net and small datasets: the pipeline
+/// contract must hold for *any* weights, trained or not.
+fn fixture(seed: u64) -> (SynthNet, SynthDataset, SynthDataset) {
+    let net = SynthNet::new(10, seed);
+    let data = SynthDataset::generate(40, 10, seed ^ 0xD474);
+    let calib = SynthDataset::generate(80, 10, seed ^ 0xCA11B);
+    (net, data, calib)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The fanned-out evaluation (per-image test loop and calibration
+    /// pass over `ordered_map`) is bit-identical to the serial path at
+    /// 1, 2 and 4 workers, for any spec and topk.
+    #[test]
+    fn parallel_eval_is_bitwise_identical_to_serial(
+        st in quant_spec(),
+        seed in 1u64..512,
+    ) {
+        let (spec, topk) = st;
+        let (net, data, calib) = fixture(seed);
+        let serial = evaluate_synthnet_jobs(&net, &data, &calib, &spec, topk, 1);
+        for jobs in [2usize, 4] {
+            let par = evaluate_synthnet_jobs(&net, &data, &calib, &spec, topk, jobs);
+            assert_acc_bitwise_eq(&par, &serial);
+        }
+    }
+
+    /// A record served from the cache is bit-identical to a fresh
+    /// cache-bypassing evaluation, and the second request never
+    /// recomputes.
+    #[test]
+    fn cached_eval_is_bitwise_identical_to_fresh(
+        st in quant_spec(),
+        seed in 1u64..512,
+    ) {
+        let (spec, topk) = st;
+        let (net, data, calib) = fixture(seed);
+        let fresh = evaluate_synthnet_jobs(&net, &data, &calib, &spec, topk, 2);
+        let cache = EvalCache::new();
+        let key = eval_key(&net, &data, &calib, &spec, topk);
+        let first = cache.eval(key, || evaluate_synthnet_jobs(&net, &data, &calib, &spec, topk, 2));
+        let second = cache.eval(key, || panic!("resident entry must hit"));
+        assert_acc_bitwise_eq(&first, &fresh);
+        assert_acc_bitwise_eq(&second, &fresh);
+        let s = cache.stats();
+        prop_assert_eq!((s.misses, s.hits), (1, 1));
+    }
+
+    /// The two metrics the single-pass evaluation returns are mutually
+    /// consistent: top-1 can never exceed top-k for k >= 1.
+    #[test]
+    fn top1_never_exceeds_topk(st in quant_spec(), seed in 1u64..512) {
+        let (spec, topk) = st;
+        let (net, data, calib) = fixture(seed);
+        let acc = evaluate_synthnet_jobs(&net, &data, &calib, &spec, topk, 2);
+        prop_assert!(acc.top1 <= acc.topk + 1e-12, "top1 {} > top{} {}", acc.top1, topk, acc.topk);
+    }
+}
+
+/// A unique scratch directory under the system temp dir (process-id +
+/// monotonic counter — no wall clock, no RNG).
+fn test_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "ola-evalcache-test-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// A warm disk store lets a second, cold in-memory cache serve the exact
+/// bits the first cache computed — without running the build closure.
+#[test]
+fn disk_tier_round_trips_without_recompute() {
+    let dir = test_dir("tier");
+    let store: Arc<dyn EvalResultStore> = Arc::new(ArtifactStore::open(&dir).unwrap());
+
+    let (net, data, calib) = fixture(7);
+    let spec = QuantSpec::paper_4bit(0.03);
+    let key = eval_key(&net, &data, &calib, &spec, 5);
+
+    // First process: cold cache + empty store → build runs, write-through.
+    let warm = EvalCache::new();
+    warm.set_store(Some(store.clone()));
+    let first = warm.eval(key, || {
+        evaluate_synthnet_jobs(&net, &data, &calib, &spec, 5, 2)
+    });
+    let s = warm.stats();
+    assert_eq!((s.misses, s.disk_hits, s.disk_misses), (1, 0, 1));
+
+    // Second process: cold cache + warm store → record loads from disk,
+    // the build closure must never run.
+    let cold = EvalCache::new();
+    cold.set_store(Some(store));
+    let replay = cold.eval(key, || panic!("warm store must satisfy the lookup"));
+    assert_acc_bitwise_eq(&replay, &first);
+    let s = cold.stats();
+    assert_eq!((s.misses, s.disk_hits, s.disk_misses), (0, 1, 0));
+
+    // Third request in the same process is a pure memory hit.
+    let again = cold.eval(key, || panic!("resident entry must hit"));
+    assert_acc_bitwise_eq(&again, &first);
+    assert_eq!(cold.stats().hits, 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupt record on disk degrades to a recompute (warning on stderr),
+/// never a failure — and the recompute overwrites the bad file so the
+/// next cold cache replays cleanly.
+#[test]
+fn corrupt_disk_record_degrades_to_recompute() {
+    let dir = test_dir("corrupt");
+    let artifact = Arc::new(ArtifactStore::open(&dir).unwrap());
+
+    let (net, data, calib) = fixture(9);
+    let spec = QuantSpec::paper_4bit(0.01);
+    let key = eval_key(&net, &data, &calib, &spec, 3);
+
+    let warm = EvalCache::new();
+    warm.set_store(Some(artifact.clone() as Arc<dyn EvalResultStore>));
+    let first = warm.eval(key, || {
+        evaluate_synthnet_jobs(&net, &data, &calib, &spec, 3, 1)
+    });
+
+    // Truncate the record on disk.
+    let path = artifact.eval_path(key);
+    assert!(path.exists(), "record not persisted at {}", path.display());
+    std::fs::write(&path, b"OLAS junk").unwrap();
+
+    let cold = EvalCache::new();
+    cold.set_store(Some(artifact.clone() as Arc<dyn EvalResultStore>));
+    let rebuilt = cold.eval(key, || {
+        evaluate_synthnet_jobs(&net, &data, &calib, &spec, 3, 1)
+    });
+    assert_acc_bitwise_eq(&rebuilt, &first);
+    let s = cold.stats();
+    assert_eq!((s.misses, s.disk_hits, s.disk_misses), (1, 0, 1));
+
+    // The write-through repaired the file.
+    let repaired = EvalCache::new();
+    repaired.set_store(Some(artifact as Arc<dyn EvalResultStore>));
+    let replay = repaired.eval(key, || panic!("repaired record must replay"));
+    assert_acc_bitwise_eq(&replay, &first);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
